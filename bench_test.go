@@ -1,0 +1,302 @@
+// Package hybrimoe_test is the benchmark harness regenerating every
+// table and figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`). Each BenchmarkFig*/BenchmarkTable*
+// drives the corresponding internal/exp experiment at reduced scale and
+// reports the headline quantity (speedup, hit-rate delta, ...) as a
+// custom benchmark metric, so `go test -bench` output doubles as a
+// results summary. Microbenchmarks of the core data structures and
+// kernels follow.
+package hybrimoe_test
+
+import (
+	"io"
+	"testing"
+
+	"hybrimoe/internal/cache"
+	"hybrimoe/internal/engine"
+	"hybrimoe/internal/exp"
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/quant"
+	"hybrimoe/internal/sched"
+	"hybrimoe/internal/stats"
+	"hybrimoe/internal/tensor"
+	"hybrimoe/internal/trace"
+)
+
+func benchParams() exp.Params {
+	p := exp.QuickParams()
+	p.DecodeSteps = 10
+	p.CDFIters = 100
+	p.HitRateIters = 60
+	return p
+}
+
+// --- Paper figures and tables ---------------------------------------
+
+func BenchmarkFig3aActivationCDF(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		exp.Fig3a(p).Render(io.Discard)
+	}
+}
+
+func BenchmarkFig3bReuseProbability(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		exp.Fig3b(p).Render(io.Discard)
+	}
+}
+
+func BenchmarkFig3cPrefillWorkload(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		exp.Fig3c(p).Render(io.Discard)
+	}
+}
+
+func BenchmarkFig3dBaselines(b *testing.B) {
+	p := benchParams()
+	p.DecodeSteps = 5
+	for i := 0; i < b.N; i++ {
+		exp.Fig3d(p).Render(io.Discard)
+	}
+}
+
+func BenchmarkFig3eDeviceScalingExperts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig3e().Render(io.Discard)
+	}
+}
+
+func BenchmarkFig3fDeviceScalingWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig3f().Render(io.Discard)
+	}
+}
+
+// BenchmarkFig7Prefill reproduces one cell of the Figure 7 grid per
+// framework (DeepSeek, 128 tokens, 25% cache) and reports the speedup
+// over kTransformers.
+func BenchmarkFig7Prefill(b *testing.B) {
+	var kt, hy float64
+	for i := 0; i < b.N; i++ {
+		kt = runPrefill(b, engine.KTransformersFramework(), 128)
+		hy = runPrefill(b, engine.HybriMoEFramework(), 128)
+	}
+	if hy > 0 {
+		b.ReportMetric(kt/hy, "speedup-vs-ktrans")
+	}
+}
+
+// BenchmarkFig8Decode reproduces one cell of the Figure 8 grid per
+// framework (DeepSeek, 25% cache) and reports the decode speedup.
+func BenchmarkFig8Decode(b *testing.B) {
+	var kt, hy float64
+	for i := 0; i < b.N; i++ {
+		kt = runDecode(b, engine.KTransformersFramework(), 10)
+		hy = runDecode(b, engine.HybriMoEFramework(), 10)
+	}
+	if hy > 0 {
+		b.ReportMetric(kt/hy, "speedup-vs-ktrans")
+	}
+}
+
+func runPrefill(b *testing.B, fw engine.Framework, tokens int) float64 {
+	b.Helper()
+	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw, engine.Options{CacheRatio: 0.25, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e.RunPrefill(tokens).Total
+}
+
+func runDecode(b *testing.B, fw engine.Framework, steps int) float64 {
+	b.Helper()
+	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw, engine.Options{CacheRatio: 0.25, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e.RunDecode(steps).Mean()
+}
+
+// BenchmarkFig9CacheHitRate reproduces one Figure 9 point (DeepSeek,
+// 30% capacity) and reports the MRS-over-LRU hit-rate gain.
+func BenchmarkFig9CacheHitRate(b *testing.B) {
+	cfg := moe.DeepSeek()
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		lru := exp.CacheHitRate(cfg, cache.NewLRU(), 0.30, 100, 5)
+		mrs := exp.CacheHitRate(cfg, cache.NewMRS(cache.DefaultAlpha, 2*cfg.ActivatedExperts), 0.30, 100, 5)
+		delta = mrs - lru
+	}
+	b.ReportMetric(delta, "hit-rate-gain")
+}
+
+func BenchmarkTable3Ablation(b *testing.B) {
+	p := benchParams()
+	p.DecodeSteps = 5
+	for i := 0; i < b.N; i++ {
+		exp.Table3(p).Render(io.Discard)
+	}
+}
+
+// --- Design-choice ablations (DESIGN.md §4) --------------------------
+
+func BenchmarkSchedulerGreedyVsExhaustive(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean, _ = exp.AblationGreedyVsExhaustive(50, 7)
+	}
+	b.ReportMetric(mean, "greedy/optimal")
+}
+
+func BenchmarkAblationMRSTopP(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		exp.AblationMRSTopP(p).Render(io.Discard)
+	}
+}
+
+func BenchmarkAblationLookahead(b *testing.B) {
+	p := benchParams()
+	p.DecodeSteps = 5
+	for i := 0; i < b.N; i++ {
+		exp.AblationLookahead(p).Render(io.Discard)
+	}
+}
+
+func BenchmarkAblationPrefetchPolicy(b *testing.B) {
+	p := benchParams()
+	p.DecodeSteps = 5
+	for i := 0; i < b.N; i++ {
+		exp.AblationPrefetchPolicy(p).Render(io.Discard)
+	}
+}
+
+func BenchmarkAblationCPUWarmup(b *testing.B) {
+	p := benchParams()
+	p.DecodeSteps = 5
+	for i := 0; i < b.N; i++ {
+		exp.AblationCPUWarmup(p).Render(io.Discard)
+	}
+}
+
+// --- Core data-structure and kernel microbenchmarks ------------------
+
+// BenchmarkSchedulerPlanDecode times one layer-scheduling decision at
+// decode shape (6 unit-load tasks, half cached) — the per-layer cost
+// HybriMoE adds to the serving path.
+func BenchmarkSchedulerPlanDecode(b *testing.B) {
+	cfg := moe.DeepSeek()
+	p := hw.A6000Platform()
+	s := sched.NewHybriMoE()
+	var tasks []sched.Task
+	for e := 0; e < 6; e++ {
+		tasks = append(tasks, sched.Task{
+			ID: moe.ExpertID{Layer: 0, Index: e}, Load: 1,
+			Flops: cfg.ExpertFlops(1), Bytes: cfg.ExpertBytes(), Cached: e%2 == 0,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Plan(tasks, p, sched.Resources{})
+	}
+}
+
+// BenchmarkSchedulerPlanPrefill times scheduling a full prefill layer
+// (64 active experts with mixed loads).
+func BenchmarkSchedulerPlanPrefill(b *testing.B) {
+	cfg := moe.Qwen2()
+	p := hw.A6000Platform()
+	s := sched.NewHybriMoE()
+	rng := stats.NewRNG(3)
+	var tasks []sched.Task
+	for e := 0; e < 64; e++ {
+		load := 1 + rng.Intn(30)
+		tasks = append(tasks, sched.Task{
+			ID: moe.ExpertID{Layer: 0, Index: e}, Load: load,
+			Flops: cfg.ExpertFlops(load), Bytes: cfg.ExpertBytes(), Cached: rng.Float64() < 0.25,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Plan(tasks, p, sched.Resources{})
+	}
+}
+
+func BenchmarkMRSObserveScores(b *testing.B) {
+	p := cache.NewMRS(cache.DefaultAlpha, 12)
+	g := trace.New(moe.DeepSeek(), trace.DefaultOptions(4))
+	g.Advance()
+	scores := g.Scores(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ObserveScores(i%26, scores)
+	}
+}
+
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := cache.New(256, cache.NewLRU())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(moe.ExpertID{Layer: i % 26, Index: i % 64}, nil)
+		c.Insert(moe.ExpertID{Layer: (i + 13) % 26, Index: (i + 31) % 64}, nil)
+	}
+}
+
+func BenchmarkTraceAdvance(b *testing.B) {
+	g := trace.New(moe.DeepSeek(), trace.DefaultOptions(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Advance()
+	}
+}
+
+func BenchmarkTensorGatedFFN(b *testing.B) {
+	rng := stats.NewRNG(6)
+	wg := tensor.NewMatrix(256, 128)
+	wu := tensor.NewMatrix(256, 128)
+	wd := tensor.NewMatrix(128, 256)
+	wg.FillRandom(rng)
+	wu.FillRandom(rng)
+	wd.FillRandom(rng)
+	x := make([]float32, 128)
+	for i := range x {
+		x[i] = float32(rng.NormMeanStd(0, 1))
+	}
+	b.SetBytes(int64(3 * 256 * 128 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.GatedFFN(wg, wu, wd, x)
+	}
+}
+
+func BenchmarkQuantMatVec(b *testing.B) {
+	rng := stats.NewRNG(7)
+	m := tensor.NewMatrix(256, 512)
+	m.FillRandom(rng)
+	q := quant.Quantize(m, 128)
+	x := make([]float32, 512)
+	for i := range x {
+		x[i] = float32(rng.NormMeanStd(0, 1))
+	}
+	dst := make([]float32, 256)
+	b.SetBytes(q.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.MatVec(dst, x)
+	}
+}
+
+func BenchmarkEngineDecodeStep(b *testing.B) {
+	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+		engine.Options{CacheRatio: 0.25, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunDecode(1)
+	}
+}

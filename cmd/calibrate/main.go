@@ -1,0 +1,43 @@
+// Command calibrate runs the warm-up phase on the host machine: it
+// times the real GatedFFN CPU kernels from internal/tensor across batch
+// sizes, fits the linear cost model HybriMoE's scheduler consumes, and
+// prints the fitted platform description next to the A6000 preset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybrimoe/internal/hw"
+)
+
+func main() {
+	hidden := flag.Int("hidden", 256, "expert hidden width for the probe kernel")
+	inter := flag.Int("inter", 512, "expert intermediate width for the probe kernel")
+	reps := flag.Int("reps", 3, "timing repetitions per batch size")
+	flag.Parse()
+
+	fmt.Printf("calibrating CPU model on %dx%d expert kernels...\n", *hidden, *inter)
+	res, err := hw.CalibrateCPU(*hidden, *inter, []int{4, 8, 16, 32, 64, 128}, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured throughput : %.3g FLOP/s\n", res.FlopsPerSec)
+	fmt.Printf("warm-up penalty     : %.3gs\n", res.WarmupPenalty)
+	fmt.Printf("linear fit          : %v\n", res.Fit)
+	fmt.Printf("samples             : %d\n\n", res.Samples)
+
+	preset := hw.A6000Platform()
+	fitted := res.ApplyToCPU(preset.CPU)
+	fmt.Println("platform CPU models:")
+	fmt.Printf("  preset (%s): peak %.3g FLOP/s, membw %.3g B/s, warmup %.3gs\n",
+		preset.CPU.Name, preset.CPU.PeakFlops, preset.CPU.MemBandwidth, preset.CPU.WarmupPenalty)
+	fmt.Printf("  fitted (%s): peak %.3g FLOP/s, membw %.3g B/s, warmup %.3gs\n",
+		fitted.Name, fitted.PeakFlops, fitted.MemBandwidth, fitted.WarmupPenalty)
+	fmt.Println("\nNote: the probe kernel is scalar Go; production INT4 kernels are")
+	fmt.Println("an order of magnitude faster. Experiments use the preset models so")
+	fmt.Println("results are machine-independent; pass the fitted model to")
+	fmt.Println("core.Config.Platform to simulate this host instead.")
+}

@@ -1,0 +1,125 @@
+// Command hybrimoe runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	hybrimoe list                 # show available experiments
+//	hybrimoe run <id> [flags]     # run one experiment (fig3a..fig9, table3, ...)
+//	hybrimoe all [flags]          # run every experiment
+//	hybrimoe demo [flags]         # one decode run with a Gantt timeline
+//
+// Flags:
+//
+//	-seed N        trace seed (default 2025)
+//	-steps N       decode iterations per configuration (default 50)
+//	-quick         reduced iteration counts for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybrimoe/internal/core"
+	"hybrimoe/internal/exp"
+	"hybrimoe/internal/moe"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hybrimoe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2025, "trace seed")
+	steps := fs.Int("steps", 50, "decode iterations per configuration")
+	quick := fs.Bool("quick", false, "reduced iteration counts")
+
+	switch cmd {
+	case "list":
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Desc)
+		}
+		return nil
+
+	case "run":
+		if len(rest) == 0 {
+			return fmt.Errorf("run needs an experiment id (try 'hybrimoe list')")
+		}
+		id := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		e, err := exp.Lookup(id)
+		if err != nil {
+			return err
+		}
+		p := params(*seed, *steps, *quick)
+		e.Run(p).Render(os.Stdout)
+		return nil
+
+	case "all":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		exp.RunAll(os.Stdout, params(*seed, *steps, *quick))
+		return nil
+
+	case "demo":
+		model := fs.String("model", "DeepSeek", "model name (DeepSeek, Mixtral, Qwen2)")
+		ratio := fs.Float64("cache", 0.25, "GPU expert cache ratio")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		cfg, err := moe.ByName(*model)
+		if err != nil {
+			return err
+		}
+		sys, err := core.NewSystem(core.Config{
+			Model:       cfg,
+			CacheRatio:  *ratio,
+			Seed:        *seed,
+			RecordTrace: true,
+		})
+		if err != nil {
+			return err
+		}
+		res := sys.Decode(*steps)
+		fmt.Printf("%s decode, %d steps, %.0f%% cache: mean TBT %.4fs, hit rate %.1f%%\n",
+			cfg.Name, *steps, *ratio*100, res.Mean(), 100*res.Stats.CacheHitRate)
+		fmt.Printf("ops: %d CPU, %d GPU, %d demand transfers, %d prefetches\n",
+			res.Stats.CPUOps, res.Stats.GPUOps, res.Stats.DemandTransfers, res.Stats.PrefetchTransfers)
+		fmt.Println("\nExecution timeline (whole run):")
+		fmt.Print(sys.Gantt(100))
+		return nil
+
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func params(seed uint64, steps int, quick bool) exp.Params {
+	p := exp.DefaultParams()
+	if quick {
+		p = exp.QuickParams()
+	}
+	p.Seed = seed
+	p.DecodeSteps = steps
+	if quick && steps == 50 {
+		p.DecodeSteps = 8
+	}
+	return p
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hybrimoe <list|run <id>|all|demo> [flags]`)
+}

@@ -1,0 +1,79 @@
+// Command tracegen dumps synthetic MoE routing traces as CSV for
+// external analysis: per-iteration activated experts and routing scores
+// for decode, or per-expert token loads for prefill.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "DeepSeek", "model name (DeepSeek, Mixtral, Qwen2)")
+	mode := flag.String("mode", "decode", "decode or prefill")
+	iters := flag.Int("iters", 16, "decode iterations to dump")
+	tokens := flag.Int("tokens", 128, "prefill tokens (prefill mode)")
+	layer := flag.Int("layer", 0, "layer to dump")
+	seed := flag.Uint64("seed", 2025, "trace seed")
+	scores := flag.Bool("scores", false, "dump full score distribution instead of activations")
+	flag.Parse()
+
+	cfg, err := moe.ByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if *layer < 0 || *layer >= cfg.Layers {
+		fmt.Fprintf(os.Stderr, "tracegen: layer %d out of range [0,%d)\n", *layer, cfg.Layers)
+		os.Exit(1)
+	}
+	g := trace.New(cfg, trace.DefaultOptions(*seed))
+
+	switch *mode {
+	case "decode":
+		if *scores {
+			header := make([]string, cfg.RoutedExperts)
+			for e := range header {
+				header[e] = fmt.Sprintf("e%d", e)
+			}
+			fmt.Println("iter," + strings.Join(header, ","))
+			for i := 0; i < *iters; i++ {
+				g.Advance()
+				ss := g.Scores(*layer)
+				row := make([]string, len(ss))
+				for e, s := range ss {
+					row[e] = fmt.Sprintf("%.6f", s)
+				}
+				fmt.Printf("%d,%s\n", i, strings.Join(row, ","))
+			}
+			return
+		}
+		fmt.Println("iter,activated")
+		for i := 0; i < *iters; i++ {
+			g.Advance()
+			acts := g.Activated(*layer)
+			parts := make([]string, len(acts))
+			for j, e := range acts {
+				parts[j] = fmt.Sprint(e)
+			}
+			fmt.Printf("%d,%s\n", i, strings.Join(parts, " "))
+		}
+
+	case "prefill":
+		g.Advance()
+		loads := g.PrefillLoads(*layer, *tokens)
+		fmt.Println("expert,load")
+		for e, l := range loads {
+			fmt.Printf("%d,%d\n", e, l)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown mode %q (decode|prefill)\n", *mode)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,159 @@
+// Package cache implements the GPU expert cache: a capacity-bounded set
+// of routed experts resident in GPU memory, with pluggable replacement
+// policies. Alongside the classic LRU and LFU baselines it provides the
+// paper's contribution, Minus-Recent-Score (MRS) score-aware caching
+// (§IV-D): expert priority is an exponential moving average of recent
+// routing scores, accumulated only for the top-p scores per iteration
+// (p = 2K by default), and the lowest-priority expert is evicted.
+package cache
+
+import (
+	"fmt"
+
+	"hybrimoe/internal/moe"
+)
+
+// Policy decides which resident expert to evict. Implementations keep
+// their own bookkeeping, driven by the cache's callbacks.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Touch records a cache hit on id.
+	Touch(id moe.ExpertID)
+	// Admit records id becoming resident.
+	Admit(id moe.ExpertID)
+	// Forget records id leaving the cache.
+	Forget(id moe.ExpertID)
+	// Victim picks the eviction victim among candidates (never empty).
+	Victim(candidates []moe.ExpertID) moe.ExpertID
+	// ObserveScores feeds one iteration's routing scores for a layer.
+	// Score-agnostic policies ignore it.
+	ObserveScores(layer int, scores []float64)
+}
+
+// LRU evicts the least-recently-used expert.
+type LRU struct {
+	clock int64
+	last  map[moe.ExpertID]int64
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU { return &LRU{last: make(map[moe.ExpertID]int64)} }
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Touch implements Policy.
+func (p *LRU) Touch(id moe.ExpertID) {
+	p.clock++
+	p.last[id] = p.clock
+}
+
+// Admit implements Policy.
+func (p *LRU) Admit(id moe.ExpertID) { p.Touch(id) }
+
+// Forget implements Policy.
+func (p *LRU) Forget(id moe.ExpertID) { delete(p.last, id) }
+
+// Victim implements Policy: least recently used, ties broken by expert
+// ID so victim choice is independent of candidate order.
+func (p *LRU) Victim(candidates []moe.ExpertID) moe.ExpertID {
+	if len(candidates) == 0 {
+		panic("cache: Victim with no candidates")
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if p.last[c] < p.last[best] ||
+			(p.last[c] == p.last[best] && idLess(c, best)) {
+			best = c
+		}
+	}
+	return best
+}
+
+// idLess is the deterministic tie-break order on expert IDs.
+func idLess(a, b moe.ExpertID) bool {
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	return a.Index < b.Index
+}
+
+// ObserveScores implements Policy (no-op).
+func (p *LRU) ObserveScores(int, []float64) {}
+
+// LFU evicts the least-frequently-used expert (total hit count).
+type LFU struct {
+	count map[moe.ExpertID]int64
+	// tie-breaking by recency avoids pathological churn
+	clock int64
+	last  map[moe.ExpertID]int64
+}
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU {
+	return &LFU{count: make(map[moe.ExpertID]int64), last: make(map[moe.ExpertID]int64)}
+}
+
+// Name implements Policy.
+func (p *LFU) Name() string { return "LFU" }
+
+// Touch implements Policy.
+func (p *LFU) Touch(id moe.ExpertID) {
+	p.count[id]++
+	p.clock++
+	p.last[id] = p.clock
+}
+
+// Admit implements Policy.
+func (p *LFU) Admit(id moe.ExpertID) { p.Touch(id) }
+
+// Forget implements Policy. Frequency history persists across
+// residency, the usual LFU-with-history variant frameworks use.
+func (p *LFU) Forget(id moe.ExpertID) {}
+
+// Victim implements Policy.
+func (p *LFU) Victim(candidates []moe.ExpertID) moe.ExpertID {
+	if len(candidates) == 0 {
+		panic("cache: Victim with no candidates")
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		switch {
+		case p.count[c] != p.count[best]:
+			if p.count[c] < p.count[best] {
+				best = c
+			}
+		case p.last[c] != p.last[best]:
+			if p.last[c] < p.last[best] {
+				best = c
+			}
+		case idLess(c, best):
+			best = c
+		}
+	}
+	return best
+}
+
+// ObserveScores implements Policy (no-op).
+func (p *LFU) ObserveScores(int, []float64) {}
+
+var (
+	_ Policy = (*LRU)(nil)
+	_ Policy = (*LFU)(nil)
+)
+
+// ByName constructs a policy from its experiment-table name. k is the
+// model's activation count, used to size MRS's top-p.
+func ByName(name string, k int) (Policy, error) {
+	switch name {
+	case "LRU":
+		return NewLRU(), nil
+	case "LFU":
+		return NewLFU(), nil
+	case "MRS":
+		return NewMRS(DefaultAlpha, 2*k), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q (have LRU, LFU, MRS)", name)
+	}
+}

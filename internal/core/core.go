@@ -1,0 +1,122 @@
+// Package core is the top-level API of the HybriMoE reproduction: it
+// wires the paper's three techniques — dynamic hybrid CPU-GPU scheduling
+// (internal/sched), impact-driven prefetching (internal/prefetch) and
+// score-aware MRS caching (internal/cache) — into a runnable system over
+// the simulated hardware platform (internal/hw) and synthetic routing
+// traces (internal/trace).
+//
+// Typical use:
+//
+//	sys, err := core.NewSystem(core.Config{
+//		Model:      moe.DeepSeek(),
+//		Platform:   hw.A6000Platform(),
+//		CacheRatio: 0.25,
+//	})
+//	res := sys.Decode(50)
+//	fmt.Printf("TBT %.4fs, hit rate %.1f%%\n", res.Mean(), 100*res.Stats.CacheHitRate)
+//
+// Baseline frameworks (kTransformers, AdapMoE, llama.cpp) are selected
+// through Config.Framework for comparative studies.
+package core
+
+import (
+	"fmt"
+
+	"hybrimoe/internal/engine"
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+)
+
+// Config describes one system instance.
+type Config struct {
+	// Model is the MoE architecture to serve (moe.Mixtral, moe.Qwen2,
+	// moe.DeepSeek or a custom configuration).
+	Model *moe.Config
+	// Platform is the hardware cost model (hw.A6000Platform by
+	// default).
+	Platform *hw.Platform
+	// Framework selects the scheduling/caching/prefetching stack; the
+	// HybriMoE stack when zero-valued.
+	Framework *engine.Framework
+	// CacheRatio is the GPU expert cache ratio in (0, 1]; 0.25 when 0.
+	CacheRatio float64
+	// Seed drives the synthetic routing trace (deterministic runs).
+	Seed uint64
+	// RecordTrace retains execution timelines for Gantt rendering.
+	RecordTrace bool
+}
+
+// System is a ready-to-run inference simulation.
+type System struct {
+	cfg Config
+	eng *engine.Engine
+}
+
+// NewSystem validates cfg, builds the framework stack and warm-starts
+// the expert cache.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: Config.Model is required")
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = hw.A6000Platform()
+	}
+	fw := engine.HybriMoEFramework()
+	if cfg.Framework != nil {
+		fw = *cfg.Framework
+	}
+	eng, err := engine.New(cfg.Model, cfg.Platform, fw, engine.Options{
+		CacheRatio:  cfg.CacheRatio,
+		Seed:        cfg.Seed,
+		RecordTrace: cfg.RecordTrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, eng: eng}, nil
+}
+
+// Decode runs steps decode iterations and returns per-step latencies
+// (the paper's TBT metric).
+func (s *System) Decode(steps int) engine.Result { return s.eng.RunDecode(steps) }
+
+// Prefill runs one prefill forward over tokens prompt tokens and
+// returns its latency (the paper's TTFT metric).
+func (s *System) Prefill(tokens int) engine.Result { return s.eng.RunPrefill(tokens) }
+
+// CacheHitRate reports the expert cache hit rate so far.
+func (s *System) CacheHitRate() float64 { return s.eng.Cache().HitRate() }
+
+// Gantt renders the execution timelines recorded with
+// Config.RecordTrace ("" otherwise).
+func (s *System) Gantt(width int) string { return s.eng.Gantt(width) }
+
+// Engine exposes the underlying engine for advanced use (ablations,
+// custom prefetchers).
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// CompareFrameworks runs the same workload across the four compared
+// frameworks and returns framework name → mean step latency. decode
+// selects the stage; steps is decode iterations or prefill tokens.
+func CompareFrameworks(model *moe.Config, platform *hw.Platform, ratio float64, seed uint64, decode bool, steps int) (map[string]float64, error) {
+	out := make(map[string]float64, 4)
+	for _, fw := range engine.AllFrameworks() {
+		fw := fw
+		sys, err := NewSystem(Config{
+			Model:      model,
+			Platform:   platform,
+			Framework:  &fw,
+			CacheRatio: ratio,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if decode {
+			out[fw.Name] = sys.Decode(steps).Mean()
+		} else {
+			out[fw.Name] = sys.Prefill(steps).Mean()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hybrimoe/internal/engine"
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Config{Model: moe.DeepSeek(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Decode(5)
+	if res.Framework != "HybriMoE" {
+		t.Fatalf("default framework = %q", res.Framework)
+	}
+	if res.Mean() <= 0 {
+		t.Fatal("decode produced no latency")
+	}
+	if hr := sys.CacheHitRate(); hr <= 0 || hr > 1 {
+		t.Fatalf("hit rate %v", hr)
+	}
+}
+
+func TestNewSystemRequiresModel(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Fatal("missing model should error")
+	}
+}
+
+func TestNewSystemPropagatesEngineErrors(t *testing.T) {
+	bad := engine.HybriMoEFramework()
+	bad.CachePolicy = "bogus"
+	_, err := NewSystem(Config{Model: moe.DeepSeek(), Framework: &bad})
+	if err == nil {
+		t.Fatal("bad framework should error")
+	}
+}
+
+func TestPrefillAndGantt(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Model:       moe.DeepSeek(),
+		Platform:    hw.A6000Platform(),
+		CacheRatio:  0.5,
+		Seed:        2,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Prefill(64)
+	if res.Total <= 0 {
+		t.Fatal("prefill produced no latency")
+	}
+	g := sys.Gantt(50)
+	if !strings.Contains(g, "GPU") || !strings.Contains(g, "CPU") {
+		t.Fatalf("gantt missing resources:\n%s", g)
+	}
+	if sys.Engine() == nil {
+		t.Fatal("engine accessor broken")
+	}
+}
+
+func TestCompareFrameworks(t *testing.T) {
+	res, err := CompareFrameworks(moe.DeepSeek(), hw.A6000Platform(), 0.25, 3, true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("frameworks compared = %d, want 4", len(res))
+	}
+	for name, lat := range res {
+		if lat <= 0 {
+			t.Fatalf("%s latency %v", name, lat)
+		}
+	}
+	if res["HybriMoE"] > res["KTransformers"] {
+		t.Fatalf("HybriMoE (%v) should not trail kTransformers (%v)",
+			res["HybriMoE"], res["KTransformers"])
+	}
+}
+
+func TestCompareFrameworksPropagatesErrors(t *testing.T) {
+	badPlatform := hw.A6000Platform()
+	badPlatform.GPU.PeakFlops = 0
+	if _, err := CompareFrameworks(moe.DeepSeek(), badPlatform, 0.25, 3, true, 2); err == nil {
+		t.Fatal("invalid platform should error")
+	}
+}

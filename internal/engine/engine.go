@@ -1,0 +1,479 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hybrimoe/internal/cache"
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/prefetch"
+	"hybrimoe/internal/sched"
+	"hybrimoe/internal/sim"
+	"hybrimoe/internal/trace"
+)
+
+// Options configures an engine run.
+type Options struct {
+	// CacheRatio is the GPU expert cache ratio (0.25, 0.50, 0.75 in the
+	// paper).
+	CacheRatio float64
+	// Context is the KV context length assumed for decode attention
+	// cost (512 when 0).
+	Context int
+	// Seed drives the synthetic routing trace.
+	Seed uint64
+	// WarmupIters is the number of historical iterations used to
+	// frequency-warm the cache before measurement (32 when 0).
+	WarmupIters int
+	// RecordTrace keeps per-resource span timelines for Gantt output.
+	RecordTrace bool
+	// ValidatePlans runs sched.Plan.Validate on every layer plan
+	// (tests; expensive).
+	ValidatePlans bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Context == 0 {
+		o.Context = 512
+	}
+	if o.WarmupIters == 0 {
+		o.WarmupIters = 32
+	}
+	if o.CacheRatio <= 0 {
+		o.CacheRatio = 0.25
+	}
+}
+
+// Engine simulates one framework serving one model on one platform.
+type Engine struct {
+	cfg      *moe.Config
+	platform *hw.Platform
+	fw       Framework
+	opts     Options
+
+	gen   *trace.Generator
+	cache *cache.Cache
+	// decodeSched and prefillSched are the per-stage scheduling
+	// strategies; scheduler points at the one for the current stage.
+	decodeSched  sched.Scheduler
+	prefillSched sched.Scheduler
+	scheduler    sched.Scheduler
+	pref         prefetch.Prefetcher
+	gpuLayers    int // StaticSplit: leading layers resident on GPU
+
+	// Absolute resource occupancy (seconds since run start).
+	cpuBusy, gpuBusy, linkBusy float64
+	clock                      float64
+	// curTokens is the current step's batch size (prefetch load
+	// prediction scales with it).
+	curTokens int
+
+	cpuTL, gpuTL, linkTL *sim.Timeline
+
+	stats RunStats
+}
+
+// RunStats aggregates execution counters for one run.
+type RunStats struct {
+	CPUOps            int
+	GPUOps            int
+	DemandTransfers   int
+	PrefetchTransfers int
+	MissInserts       int
+	CacheHitRate      float64
+}
+
+// Result reports one measured run.
+type Result struct {
+	Framework string
+	Model     string
+	// StepLatencies holds per-decode-step latency, or a single entry
+	// (the TTFT) for prefill.
+	StepLatencies []float64
+	// Total is the summed latency of all measured steps.
+	Total float64
+	Stats RunStats
+}
+
+// Mean reports the mean step latency.
+func (r Result) Mean() float64 {
+	if len(r.StepLatencies) == 0 {
+		return 0
+	}
+	return r.Total / float64(len(r.StepLatencies))
+}
+
+// New builds an engine. The cache is warm-started from historical
+// activation frequency (a separate trace seed), matching how the
+// compared frameworks place experts before serving.
+func New(cfg *moe.Config, platform *hw.Platform, fw Framework, opts Options) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := platform.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fillDefaults()
+
+	e := &Engine{cfg: cfg, platform: platform, fw: fw, opts: opts}
+	e.gen = trace.New(cfg, trace.DefaultOptions(opts.Seed))
+
+	e.gpuLayers = int(opts.CacheRatio * float64(cfg.Layers))
+	gpuLayer := func(l int) bool { return l < e.gpuLayers }
+	if fw.Sched == SchedSame {
+		return nil, fmt.Errorf("engine: Framework.Sched must name a strategy")
+	}
+	var err error
+	if e.decodeSched, err = fw.buildScheduler(fw.Sched, gpuLayer); err != nil {
+		return nil, err
+	}
+	prefillKind := fw.PrefillSched
+	if prefillKind == SchedSame {
+		prefillKind = fw.Sched
+	}
+	if e.prefillSched, err = fw.buildScheduler(prefillKind, gpuLayer); err != nil {
+		return nil, err
+	}
+	e.scheduler = e.decodeSched
+	if e.pref, err = fw.buildPrefetcher(); err != nil {
+		return nil, err
+	}
+	policy, err := fw.buildPolicy(cfg.ActivatedExperts)
+	if err != nil {
+		return nil, err
+	}
+	e.cache = cache.New(cfg.CacheCapacity(opts.CacheRatio), policy)
+	e.warmCache()
+
+	if opts.RecordTrace {
+		e.cpuTL = sim.NewTimeline("CPU")
+		e.gpuTL = sim.NewTimeline("GPU")
+		e.linkTL = sim.NewTimeline("PCIe")
+	}
+	return e, nil
+}
+
+// warmCache fills the cache with the historically most-active experts,
+// measured on a past window of the same workload (the "historical
+// activation frequency" the static frameworks use), and feeds the
+// observed routing scores to the cache policy so score-aware policies
+// start with meaningful priorities — the state a long-running server
+// would have. StaticSplit frameworks skip this: their residency is the
+// layer mapping.
+func (e *Engine) warmCache() {
+	if e.fw.Sched == SchedStaticSplit {
+		return
+	}
+	hist := e.gen.ForkHistory(e.opts.Seed ^ 0x5eedf00d)
+	counts := make(map[moe.ExpertID]int)
+	for i := 0; i < e.opts.WarmupIters; i++ {
+		hist.Advance()
+		for l := 0; l < e.cfg.Layers; l++ {
+			for _, x := range hist.Activated(l) {
+				counts[moe.ExpertID{Layer: l, Index: x}]++
+			}
+			e.cache.ObserveScores(l, hist.Scores(l))
+		}
+	}
+	ids := make([]moe.ExpertID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		if ids[i].Layer != ids[j].Layer {
+			return ids[i].Layer < ids[j].Layer
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	if e.fw.PinWarm {
+		for _, id := range ids {
+			if e.cache.Len() >= e.cache.Capacity() {
+				break
+			}
+			e.cache.Pin(id)
+		}
+		return
+	}
+	e.cache.Warm(ids)
+	// Replay the history into the policy — least frequent first so the
+	// hottest experts end up both most counted and most recent — giving
+	// LFU counts and LRU recency the state of a long-running server
+	// instead of treating every warm expert as a one-hit wonder.
+	for i := len(ids) - 1; i >= 0; i-- {
+		for n := 0; n < counts[ids[i]]; n++ {
+			e.cache.TouchHistorical(ids[i])
+		}
+	}
+}
+
+// isCached reports residency for scheduling decisions.
+func (e *Engine) isCached(id moe.ExpertID) bool {
+	if e.fw.Sched == SchedStaticSplit {
+		return id.Layer < e.gpuLayers
+	}
+	return e.cache.Contains(id)
+}
+
+// attentionDevice reports where a layer's attention + shared experts
+// run. Only llama.cpp's CPU layers run them on the CPU.
+func (e *Engine) attentionDevice(layer int) hw.Device {
+	if e.fw.Sched == SchedStaticSplit && layer >= e.gpuLayers {
+		return hw.CPU
+	}
+	return hw.GPU
+}
+
+// runStep executes one forward pass (all layers) for the given
+// activations and token/context sizes, returning its latency.
+func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int) float64 {
+	stepStart := e.clock
+	e.curTokens = tokens
+	for _, act := range acts {
+		layerStart := e.clock
+
+		// Attention + shared experts. Weight traffic: INT4 QKVO
+		// projections plus the always-resident shared experts.
+		attFlops := hw.AttentionFlops(e.cfg.Hidden, tokens, context) + e.cfg.SharedFlops(tokens)
+		attBytes := int64(4*e.cfg.Hidden*e.cfg.Hidden/2) +
+			e.cfg.SharedExpertBytes()*int64(e.cfg.SharedExperts)
+		var attEnd float64
+		if e.attentionDevice(act.Layer) == hw.GPU {
+			start := maxF(e.gpuBusy, layerStart)
+			attEnd = start + e.platform.GPU.ExpertTime(attFlops, attBytes)
+			e.reserveTL(e.gpuTL, start, attEnd, "attn")
+			e.gpuBusy = attEnd
+		} else {
+			start := maxF(e.cpuBusy, layerStart)
+			attEnd = start + e.platform.CPU.ExpertTime(attFlops, attBytes, true)
+			e.reserveTL(e.cpuTL, start, attEnd, "attn")
+			e.cpuBusy = attEnd
+		}
+
+		// Routed experts: look up residency (with hit accounting), plan
+		// and apply.
+		active := make(map[moe.ExpertID]bool)
+		for _, id := range act.ActiveExperts() {
+			active[id] = true
+			e.cache.Lookup(id) // hit/miss statistics
+		}
+		tasks := sched.TasksFromLoads(e.cfg, act.Layer, act.Loads, e.isCached)
+		res := sched.Resources{
+			CPUFree:  maxF(0, e.cpuBusy-layerStart),
+			GPUFree:  maxF(0, e.gpuBusy-layerStart),
+			LinkFree: maxF(0, e.linkBusy-layerStart),
+		}
+		plan := e.scheduler.Plan(tasks, e.platform, res)
+		if e.opts.ValidatePlans {
+			if err := plan.Validate(tasks, res); err != nil {
+				panic(fmt.Sprintf("engine: invalid plan at layer %d: %v", act.Layer, err))
+			}
+		}
+		e.applyPlan(plan, layerStart, active)
+
+		layerEnd := maxF(attEnd, layerStart+plan.Makespan)
+		e.clock = layerEnd
+
+		// Cache policy sees this iteration's routing scores.
+		e.cache.ObserveScores(act.Layer, act.Scores)
+
+		// Spend PCIe idle time: prefetch upcoming layers, then refresh
+		// the cache with this layer's misses if the framework does so.
+		e.prefetchInto(act.Layer, layerEnd, active)
+		e.missInsert(act, layerEnd, active)
+	}
+	return e.clock - stepStart
+}
+
+func (e *Engine) applyPlan(plan *sched.Plan, layerStart float64, active map[moe.ExpertID]bool) {
+	for _, op := range plan.Ops {
+		absStart, absEnd := layerStart+op.Start, layerStart+op.End
+		switch op.Kind {
+		case sched.OpComputeCPU:
+			e.stats.CPUOps++
+			e.reserveTL(e.cpuTL, absStart, absEnd, op.Expert.String())
+			e.cpuBusy = maxF(e.cpuBusy, absEnd)
+		case sched.OpComputeGPU:
+			e.stats.GPUOps++
+			e.reserveTL(e.gpuTL, absStart, absEnd, op.Expert.String())
+			e.gpuBusy = maxF(e.gpuBusy, absEnd)
+		case sched.OpTransfer:
+			e.stats.DemandTransfers++
+			e.reserveTL(e.linkTL, absStart, absEnd, op.Expert.String())
+			e.linkBusy = maxF(e.linkBusy, absEnd)
+		}
+	}
+	protected := func(id moe.ExpertID) bool { return active[id] }
+	for _, id := range plan.Transferred {
+		e.cache.Insert(id, protected)
+	}
+}
+
+// prefetchInto spends PCIe idle time until layerEnd on upcoming layers.
+func (e *Engine) prefetchInto(layer int, layerEnd float64, active map[moe.ExpertID]bool) {
+	budget := layerEnd - e.linkBusy
+	if budget <= 0 {
+		return
+	}
+	curLayer := layer
+	ctx := prefetch.Context{
+		Cfg:      e.cfg,
+		Platform: e.platform,
+		Layer:    layer,
+		Budget:   budget,
+		PredictedLoads: func(l int) []int {
+			return e.predictedLoads(curLayer, l)
+		},
+		IsCached:  e.isCached,
+		Scheduler: e.scheduler,
+	}
+	picks := e.pref.Select(ctx)
+	xfer := e.platform.Link.TransferTime(e.cfg.ExpertBytes())
+	protected := func(id moe.ExpertID) bool { return active[id] }
+	for _, id := range picks {
+		if _, ok := e.cache.Insert(id, protected); !ok {
+			break
+		}
+		start := e.linkBusy
+		e.reserveTL(e.linkTL, start, start+xfer, "pf:"+id.String())
+		e.linkBusy = start + xfer
+		e.stats.PrefetchTransfers++
+	}
+}
+
+// predictedLoads estimates a future layer's per-expert loads from the
+// gate-reuse prediction: the top-k predicted experts receive their
+// expected token share for the current batch size (unit loads at
+// decode).
+func (e *Engine) predictedLoads(curLayer, layer int) []int {
+	lookahead := layer - curLayer
+	if lookahead <= 0 || layer >= e.cfg.Layers {
+		return make([]int, e.cfg.RoutedExperts)
+	}
+	scores := e.gen.PredictedScores(layer, lookahead)
+	loads := make([]int, e.cfg.RoutedExperts)
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	assignments := float64(e.curTokens * e.cfg.ActivatedExperts)
+	for _, x := range idx[:e.cfg.ActivatedExperts] {
+		load := int(scores[x]*assignments + 0.5)
+		if load < 1 {
+			load = 1
+		}
+		loads[x] = load
+	}
+	return loads
+}
+
+// missInsert refreshes the cache with this layer's missed experts in
+// leftover PCIe idle time (static-scheduler frameworks' cache path).
+func (e *Engine) missInsert(act trace.LayerActivation, layerEnd float64, active map[moe.ExpertID]bool) {
+	if !e.fw.OnMissInsert {
+		return
+	}
+	xfer := e.platform.Link.TransferTime(e.cfg.ExpertBytes())
+	type missed struct {
+		id    moe.ExpertID
+		score float64
+	}
+	var misses []missed
+	for x, load := range act.Loads {
+		if load == 0 {
+			continue
+		}
+		id := moe.ExpertID{Layer: act.Layer, Index: x}
+		if !e.isCached(id) {
+			misses = append(misses, missed{id, act.Scores[x]})
+		}
+	}
+	sort.SliceStable(misses, func(i, j int) bool { return misses[i].score > misses[j].score })
+	protected := func(id moe.ExpertID) bool { return active[id] }
+	for _, m := range misses {
+		if e.linkBusy+xfer > layerEnd {
+			break
+		}
+		if _, ok := e.cache.Insert(m.id, protected); !ok {
+			break
+		}
+		start := e.linkBusy
+		e.reserveTL(e.linkTL, start, start+xfer, "mi:"+m.id.String())
+		e.linkBusy = start + xfer
+		e.stats.MissInserts++
+	}
+}
+
+func (e *Engine) reserveTL(tl *sim.Timeline, start, end float64, name string) {
+	if tl == nil {
+		return
+	}
+	tl.Reserve(start, end-start, name)
+}
+
+// RunDecode measures steps decode iterations and returns per-step TBT.
+func (e *Engine) RunDecode(steps int) Result {
+	if steps <= 0 {
+		panic(fmt.Sprintf("engine: non-positive decode steps %d", steps))
+	}
+	res := Result{Framework: e.fw.Name, Model: e.cfg.Name}
+	e.scheduler = e.decodeSched
+	for i := 0; i < steps; i++ {
+		acts := trace.DecodeStep(e.gen)
+		lat := e.runStep(acts, 1, e.opts.Context)
+		res.StepLatencies = append(res.StepLatencies, lat)
+		res.Total += lat
+	}
+	e.stats.CacheHitRate = e.cache.HitRate()
+	res.Stats = e.stats
+	return res
+}
+
+// RunPrefill measures a single prefill forward over the given prompt
+// length and returns its TTFT as the sole step latency.
+func (e *Engine) RunPrefill(tokens int) Result {
+	if tokens <= 0 {
+		panic(fmt.Sprintf("engine: non-positive prefill tokens %d", tokens))
+	}
+	res := Result{Framework: e.fw.Name, Model: e.cfg.Name}
+	e.scheduler = e.prefillSched
+	acts := trace.PrefillStep(e.gen, tokens)
+	lat := e.runStep(acts, tokens, tokens)
+	res.StepLatencies = []float64{lat}
+	res.Total = lat
+	e.stats.CacheHitRate = e.cache.HitRate()
+	res.Stats = e.stats
+	return res
+}
+
+// Cache exposes the expert cache for analysis.
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// SetPrefetcher swaps the prefetcher (ablation studies vary the
+// lookahead window). Call before the first Run*.
+func (e *Engine) SetPrefetcher(p prefetch.Prefetcher) { e.pref = p }
+
+// Timelines returns the recorded span timelines (nil without
+// RecordTrace).
+func (e *Engine) Timelines() (cpu, gpu, link *sim.Timeline) {
+	return e.cpuTL, e.gpuTL, e.linkTL
+}
+
+// Gantt renders the recorded timelines, or "" without RecordTrace.
+func (e *Engine) Gantt(width int) string {
+	if e.cpuTL == nil {
+		return ""
+	}
+	return sim.Gantt(width, e.gpuTL, e.cpuTL, e.linkTL)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

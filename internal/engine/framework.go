@@ -1,0 +1,185 @@
+// Package engine executes MoE inference end-to-end on the simulated
+// platform: attention and shared experts on their device, routed experts
+// through a pluggable scheduler, an expert cache with a pluggable
+// replacement policy, and inter-layer prefetching in PCIe idle time. It
+// measures the paper's two metrics — TTFT for prefill and TBT for
+// decode — for the four compared frameworks.
+package engine
+
+import (
+	"fmt"
+
+	"hybrimoe/internal/cache"
+	"hybrimoe/internal/prefetch"
+	"hybrimoe/internal/sched"
+)
+
+// SchedKind selects the intra-layer scheduling strategy.
+type SchedKind int
+
+// Scheduling strategies.
+const (
+	// SchedSame (zero value) is only valid as a Framework.PrefillSched,
+	// meaning "use the decode scheduler for prefill too".
+	SchedSame SchedKind = iota
+	// SchedHybri is the paper's dynamic hybrid scheduler.
+	SchedHybri
+	// SchedKTrans is the static cached→GPU / uncached→CPU mapping.
+	SchedKTrans
+	// SchedGPUCentric computes everything on the GPU with on-demand
+	// loads.
+	SchedGPUCentric
+	// SchedStaticSplit maps whole layers to a device (llama.cpp -ngl).
+	SchedStaticSplit
+)
+
+// Framework bundles the policy choices that define one of the compared
+// systems.
+type Framework struct {
+	Name string
+	// Sched picks the intra-layer scheduling strategy (decode, and
+	// prefill unless PrefillSched overrides it).
+	Sched SchedKind
+	// PrefillSched, when not SchedSame, picks a different strategy for
+	// the prefill stage. kTransformers uses CPU expert computation only
+	// at decode (paper Table I) and falls back to on-demand GPU loading
+	// for prefill.
+	PrefillSched SchedKind
+	// Prefetch names the prefetcher: "none", "next-layer-topk" or
+	// "impact-driven".
+	Prefetch string
+	// CachePolicy names the replacement policy: "LRU", "LFU" or "MRS".
+	CachePolicy string
+	// OnMissInsert enables background insertion of missed experts into
+	// the cache using idle PCIe time (how static-scheduler frameworks
+	// refresh their cache between iterations).
+	OnMissInsert bool
+	// PinWarm pins the warm-started experts permanently, modelling a
+	// truly static frequency-based placement.
+	PinWarm bool
+}
+
+// HybriMoEFramework is the paper's full system: dynamic hybrid
+// scheduling, impact-driven prefetching, MRS caching.
+func HybriMoEFramework() Framework {
+	return Framework{
+		Name:        "HybriMoE",
+		Sched:       SchedHybri,
+		Prefetch:    "impact-driven",
+		CachePolicy: "MRS",
+	}
+}
+
+// KTransformersFramework is the primary baseline: a fixed mapping by
+// historical activation frequency (pinned GPU experts, no dynamic
+// remapping — paper Table I), CPU expert computation at decode, and
+// on-demand GPU loading at prefill.
+func KTransformersFramework() Framework {
+	return Framework{
+		Name:         "KTransformers",
+		Sched:        SchedKTrans,
+		PrefillSched: SchedGPUCentric,
+		Prefetch:     "none",
+		CachePolicy:  "LFU",
+		PinWarm:      true,
+	}
+}
+
+// AdapMoEFramework is the GPU-centric baseline: on-demand loading with
+// adaptive (next-layer) prefetching and LRU caching.
+func AdapMoEFramework() Framework {
+	return Framework{
+		Name:        "AdapMoE",
+		Sched:       SchedGPUCentric,
+		Prefetch:    "next-layer-topk",
+		CachePolicy: "LRU",
+	}
+}
+
+// LlamaCppFramework is the static layer-split baseline: the leading
+// layers live wholly on the GPU, the rest (attention included) on the
+// CPU.
+func LlamaCppFramework() Framework {
+	return Framework{
+		Name:        "llama.cpp",
+		Sched:       SchedStaticSplit,
+		Prefetch:    "none",
+		CachePolicy: "LRU",
+		PinWarm:     true,
+	}
+}
+
+// AllFrameworks returns the four compared systems in the paper's legend
+// order.
+func AllFrameworks() []Framework {
+	return []Framework{
+		LlamaCppFramework(),
+		AdapMoEFramework(),
+		KTransformersFramework(),
+		HybriMoEFramework(),
+	}
+}
+
+// AblationFrameworks returns the Table III variants built on the
+// kTransformers baseline: individual techniques enabled one at a time,
+// then all together.
+//
+//   - +Scheduling swaps in the dynamic hybrid scheduler (whose
+//     transfers make the cache dynamic, so the pin is lifted);
+//   - +Prefetching adds impact-driven prefetching on the static
+//     mapping;
+//   - +Caching enables dynamic score-aware cache management (MRS with
+//     background refresh of missed experts).
+func AblationFrameworks() []Framework {
+	base := KTransformersFramework()
+	base.Name = "Baseline"
+
+	schedOnly := base
+	schedOnly.Name = "Baseline+Scheduling"
+	schedOnly.Sched = SchedHybri
+	schedOnly.PrefillSched = SchedSame
+	schedOnly.PinWarm = false
+
+	prefOnly := base
+	prefOnly.Name = "Baseline+Prefetching"
+	prefOnly.Prefetch = "impact-driven"
+	prefOnly.PinWarm = false
+
+	cacheOnly := base
+	cacheOnly.Name = "Baseline+Caching"
+	cacheOnly.CachePolicy = "MRS"
+	cacheOnly.OnMissInsert = true
+	cacheOnly.PinWarm = false
+
+	all := HybriMoEFramework()
+	all.Name = "All"
+
+	return []Framework{base, schedOnly, prefOnly, cacheOnly, all}
+}
+
+func (f Framework) buildScheduler(kind SchedKind, gpuLayer func(int) bool) (sched.Scheduler, error) {
+	switch kind {
+	case SchedHybri:
+		return sched.NewHybriMoE(), nil
+	case SchedKTrans:
+		return sched.NewKTransStatic(), nil
+	case SchedGPUCentric:
+		return sched.NewGPUCentric(), nil
+	case SchedStaticSplit:
+		return sched.NewStaticSplit(gpuLayer), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown scheduler kind %d", kind)
+	}
+}
+
+func (f Framework) buildPrefetcher() (prefetch.Prefetcher, error) {
+	p, ok := prefetch.ByName(f.Prefetch)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown prefetcher %q", f.Prefetch)
+	}
+	return p, nil
+}
+
+func (f Framework) buildPolicy(k int) (cache.Policy, error) {
+	return cache.ByName(f.CachePolicy, k)
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderable is anything the harness can print (tables and figures).
+type Renderable interface {
+	Render(w io.Writer)
+}
+
+// Experiment pairs an identifier with its driver.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(Params) Renderable
+}
+
+// Registry lists every reproducible table/figure, in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig3a", "Activation frequency CDF (neurons vs experts)", func(p Params) Renderable { return Fig3a(p) }},
+		{"fig3b", "Expert reuse probability by score rank", func(p Params) Renderable { return Fig3b(p) }},
+		{"fig3c", "Prefill expert workload distribution", func(p Params) Renderable { return Fig3c(p) }},
+		{"fig3d", "Existing frameworks across scenarios", func(p Params) Renderable { return Fig3d(p) }},
+		{"fig3e", "Device time vs expert count", func(p Params) Renderable { return Fig3e() }},
+		{"fig3f", "Device time vs workload size", func(p Params) Renderable { return Fig3f() }},
+		{"fig7", "Prefill TTFT comparison", func(p Params) Renderable { return Fig7(p) }},
+		{"fig8", "Decode TBT comparison", func(p Params) Renderable { return Fig8(p) }},
+		{"fig9", "Cache hit rate MRS vs LRU", func(p Params) Renderable { return Fig9(p) }},
+		{"table3", "Ablation speedup breakdown", func(p Params) Renderable { return Table3(p) }},
+		{"abl-topp", "MRS top-p width ablation", func(p Params) Renderable { return AblationMRSTopP(p) }},
+		{"abl-window", "Prefetch lookahead window ablation", func(p Params) Renderable { return AblationLookahead(p) }},
+		{"abl-prefetch", "Prefetch policy ablation", func(p Params) Renderable { return AblationPrefetchPolicy(p) }},
+		{"abl-warmup", "CPU warm-up modelling ablation", func(p Params) Renderable { return AblationCPUWarmup(p) }},
+		{"platform", "Laptop-class platform sweep", func(p Params) Renderable { return PlatformSweep(p) }},
+		{"serving", "End-to-end mixed-corpus serving study", func(p Params) Renderable {
+			return ServingStudy(p, 10, 0.25)
+		}},
+		{"precision", "INT4 vs INT8 offloading trade-off", func(p Params) Renderable { return PrecisionStudy(p) }},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// RunAll executes every registered experiment and writes the rendered
+// results to w, separated by blank lines. It also prints the two
+// headline aggregates the paper's abstract quotes.
+func RunAll(w io.Writer, p Params) {
+	for _, e := range Registry() {
+		e.Run(p).Render(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Headline: prefill speedup vs kTransformers = %.2fx (paper: 1.33x)\n", Fig7MeanSpeedup(p))
+	fmt.Fprintf(w, "Headline: decode  speedup vs kTransformers = %.2fx (paper: 1.70x)\n", Fig8MeanSpeedup(p))
+	mean, worst := AblationGreedyVsExhaustive(200, p.Seed)
+	fmt.Fprintf(w, "Scheduler quality: greedy/optimal makespan mean=%.3f worst=%.3f over 200 instances\n", mean, worst)
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"hybrimoe/internal/engine"
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/report"
+	"hybrimoe/internal/stats"
+	"hybrimoe/internal/workload"
+)
+
+// ServingStudy goes beyond the paper's per-stage measurements: it
+// serves a mixed request stream sampled from the three evaluation
+// corpora (MT-Bench, Vicuna-Bench, ChatGPT-Prompts) end to end —
+// prefill then decode per request, cache state carried across requests
+// — and reports mean TTFT and TBT per framework. The shape should
+// match the paper's per-stage findings (HybriMoE best on both; the
+// prefill gap driven by scheduling, the decode gap by caching and
+// balancing).
+func ServingStudy(p Params, requests int, ratio float64) *report.Table {
+	t := report.NewTable("Serving study: mixed corpus stream, end-to-end",
+		"framework", "mean-TTFT(s)", "mean-TBT(s)", "p95-TTFT(s)", "hit-rate")
+	platform := hw.A6000Platform()
+	cfg := moe.DeepSeek()
+
+	// One shared request sequence for every framework.
+	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
+	reqs := stream.NextN(requests)
+	for i := range reqs {
+		// Cap decode lengths so the study stays simulation-cheap while
+		// preserving the TTFT/TBT mix.
+		if reqs[i].DecodeTokens > p.DecodeSteps {
+			reqs[i].DecodeTokens = p.DecodeSteps
+		}
+	}
+
+	for _, fw := range engine.AllFrameworks() {
+		e, err := engine.New(cfg, platform, fw, engine.Options{CacheRatio: ratio, Seed: p.Seed})
+		if err != nil {
+			panic(err)
+		}
+		var ttft stats.Sample
+		var tbt stats.Running
+		for _, r := range reqs {
+			pre := e.RunPrefill(r.PromptTokens)
+			ttft.Add(pre.Total)
+			dec := e.RunDecode(r.DecodeTokens)
+			for _, lat := range dec.StepLatencies {
+				tbt.Add(lat)
+			}
+		}
+		last := e.Cache().HitRate()
+		t.AddRow(fw.Name, ttft.Mean(), tbt.Mean(), ttft.Quantile(0.95), last)
+	}
+	return t
+}

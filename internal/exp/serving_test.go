@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestServingStudyShape(t *testing.T) {
+	p := QuickParams()
+	p.DecodeSteps = 4
+	tbl := ServingStudy(p, 4, 0.25)
+	out := render(t, tbl)
+	if tbl.NumRows() != 4 {
+		t.Fatalf("frameworks = %d, want 4:\n%s", tbl.NumRows(), out)
+	}
+	for _, fw := range []string{"llama.cpp", "AdapMoE", "KTransformers", "HybriMoE"} {
+		if !strings.Contains(out, fw) {
+			t.Fatalf("missing framework %s:\n%s", fw, out)
+		}
+	}
+}
+
+// ttftOf extracts the mean-TTFT column for a framework row.
+func ttftOf(t *testing.T, rendered, framework string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(rendered, "\n") {
+		if !strings.HasPrefix(line, framework) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("malformed row %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", fields[1], err)
+		}
+		return v
+	}
+	t.Fatalf("framework %s not found in:\n%s", framework, rendered)
+	return 0
+}
+
+func TestServingStudyHybriMoEWins(t *testing.T) {
+	p := QuickParams()
+	p.DecodeSteps = 6
+	out := ServingStudy(p, 6, 0.25).String()
+	hybri := ttftOf(t, out, "HybriMoE")
+	ktrans := ttftOf(t, out, "KTransformers")
+	if hybri >= ktrans {
+		t.Fatalf("HybriMoE TTFT %v should beat kTransformers %v\n%s", hybri, ktrans, out)
+	}
+}

@@ -1,0 +1,123 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+
+	"hybrimoe/internal/stats"
+	"hybrimoe/internal/tensor"
+)
+
+// CalibrationResult reports the warm-up phase measurements HybriMoE
+// collects before inference: a fitted linear CPU cost model plus the
+// observed first-run warm-up penalty.
+type CalibrationResult struct {
+	// FlopsPerSec is the measured sustained CPU throughput.
+	FlopsPerSec float64
+	// WarmupPenalty is the measured extra latency of the first kernel
+	// invocation relative to the steady state, in seconds.
+	WarmupPenalty float64
+	// Fit is the underlying least-squares fit of seconds against FLOPs.
+	Fit stats.LinearFit
+	// Samples is the number of timed kernel runs.
+	Samples int
+}
+
+// CalibrateCPU measures the host's real GatedFFN kernel (internal/tensor)
+// across the given token batch sizes on a hidden×inter expert shape and
+// fits the linear CPU model the scheduler consumes. It is the measured
+// counterpart of the paper's warm-up phase. reps controls timing repeats
+// per point (higher = less noise, slower calibration).
+func CalibrateCPU(hidden, inter int, tokenCounts []int, reps int) (CalibrationResult, error) {
+	if hidden <= 0 || inter <= 0 {
+		return CalibrationResult{}, fmt.Errorf("hw: invalid expert shape %dx%d", hidden, inter)
+	}
+	if len(tokenCounts) < 2 {
+		return CalibrationResult{}, fmt.Errorf("hw: need at least 2 batch sizes, got %d", len(tokenCounts))
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	rng := stats.NewRNG(0xCA11B)
+	wg := tensor.NewMatrix(inter, hidden)
+	wu := tensor.NewMatrix(inter, hidden)
+	wd := tensor.NewMatrix(hidden, inter)
+	wg.FillRandom(rng)
+	wu.FillRandom(rng)
+	wd.FillRandom(rng)
+	x := make([]float32, hidden)
+	for i := range x {
+		x[i] = float32(rng.NormMeanStd(0, 1))
+	}
+
+	flopsPerToken := ExpertFlops(hidden, inter, 1)
+
+	// Measure the cold-start penalty: first invocation vs a warm one.
+	cold := timeGatedFFN(wg, wu, wd, x, 1)
+	warm := timeGatedFFN(wg, wu, wd, x, 1)
+	warmup := cold - warm
+	if warmup < 0 {
+		warmup = 0
+	}
+
+	var xs, ys []float64
+	for _, tokens := range tokenCounts {
+		if tokens <= 0 {
+			return CalibrationResult{}, fmt.Errorf("hw: non-positive batch size %d", tokens)
+		}
+		best := timeGatedFFN(wg, wu, wd, x, tokens)
+		for r := 1; r < reps; r++ {
+			if t := timeGatedFFN(wg, wu, wd, x, tokens); t < best {
+				best = t
+			}
+		}
+		xs = append(xs, flopsPerToken*float64(tokens))
+		ys = append(ys, best)
+	}
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		return CalibrationResult{}, fmt.Errorf("hw: calibration fit: %w", err)
+	}
+	if fit.Slope <= 0 {
+		return CalibrationResult{}, fmt.Errorf("hw: calibration produced non-positive slope %v (timer too coarse for shape %dx%d?)", fit.Slope, hidden, inter)
+	}
+	return CalibrationResult{
+		FlopsPerSec:   1 / fit.Slope,
+		WarmupPenalty: warmup,
+		Fit:           fit,
+		Samples:       len(tokenCounts) * reps,
+	}, nil
+}
+
+func timeGatedFFN(wg, wu, wd *tensor.Matrix, x []float32, tokens int) float64 {
+	start := time.Now()
+	for t := 0; t < tokens; t++ {
+		_ = tensor.GatedFFN(wg, wu, wd, x)
+	}
+	return time.Since(start).Seconds()
+}
+
+// ApplyToCPU returns a copy of base with the measured throughput and
+// warm-up penalty substituted in, preserving bandwidth and overheads.
+func (c CalibrationResult) ApplyToCPU(base CPUModel) CPUModel {
+	out := base
+	out.PeakFlops = c.FlopsPerSec
+	out.WarmupPenalty = c.WarmupPenalty
+	out.Name = base.Name + "+calibrated"
+	return out
+}
+
+// ExpertFlops computes the floating-point operations of one SwiGLU expert
+// on a batch: three hidden×inter GEMMs at 2 FLOPs per multiply-add.
+func ExpertFlops(hidden, inter, tokens int) float64 {
+	return 3 * 2 * float64(hidden) * float64(inter) * float64(tokens)
+}
+
+// AttentionFlops approximates the FLOPs of one attention block over a
+// batch: QKVO projections (4·h² per token) plus score/value products
+// (2·2·h·ctx per token). It sizes the non-MoE portion of each layer.
+func AttentionFlops(hidden, tokens, context int) float64 {
+	perTokenProj := 4 * 2 * float64(hidden) * float64(hidden)
+	perTokenAttn := 2 * 2 * float64(hidden) * float64(context)
+	return float64(tokens) * (perTokenProj + perTokenAttn)
+}

@@ -1,0 +1,54 @@
+package hw
+
+import (
+	"testing"
+)
+
+func TestCalibrateCPUProducesUsableModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration timing in -short mode")
+	}
+	// Small shape so the test is quick; batch sizes spread enough that
+	// the linear fit is well-conditioned even with timer noise.
+	res, err := CalibrateCPU(128, 256, []int{4, 16, 64, 128}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlopsPerSec <= 0 {
+		t.Fatalf("measured throughput %v must be positive", res.FlopsPerSec)
+	}
+	// Any real machine lands between 10 MFLOP/s and 10 TFLOP/s for this
+	// scalar kernel; outside that, the measurement is broken.
+	if res.FlopsPerSec < 1e7 || res.FlopsPerSec > 1e13 {
+		t.Fatalf("measured throughput %v implausible", res.FlopsPerSec)
+	}
+	if res.WarmupPenalty < 0 {
+		t.Fatalf("warm-up penalty %v negative", res.WarmupPenalty)
+	}
+	if res.Samples != 12 {
+		t.Fatalf("samples = %d, want 12", res.Samples)
+	}
+	base := A6000Platform().CPU
+	fitted := res.ApplyToCPU(base)
+	if fitted.PeakFlops != res.FlopsPerSec {
+		t.Fatal("ApplyToCPU must substitute throughput")
+	}
+	if fitted.MemBandwidth != base.MemBandwidth {
+		t.Fatal("ApplyToCPU must preserve bandwidth")
+	}
+	if err := fitted.Validate(); err != nil {
+		t.Fatalf("fitted model invalid: %v", err)
+	}
+}
+
+func TestCalibrateCPUErrors(t *testing.T) {
+	if _, err := CalibrateCPU(0, 10, []int{1, 2}, 1); err == nil {
+		t.Error("zero hidden should error")
+	}
+	if _, err := CalibrateCPU(8, 8, []int{1}, 1); err == nil {
+		t.Error("single batch size should error")
+	}
+	if _, err := CalibrateCPU(8, 8, []int{1, 0}, 1); err == nil {
+		t.Error("zero batch size should error")
+	}
+}

@@ -1,0 +1,159 @@
+// Package hw models the heterogeneous hardware the paper evaluates on —
+// GPU, CPU and the PCIe link between them — as analytic cost models with
+// the empirical shapes reported in the paper's motivation study
+// (Figure 3(e)/(f)):
+//
+//   - GPU expert time is nearly flat in per-expert workload (kernel
+//     launch + weight streaming dominate) and linear in the number of
+//     experts;
+//   - CPU expert time grows linearly with workload, with the first
+//     expert of a consecutive CPU burst paying a cache warm-up penalty
+//     and subsequent experts benefiting from warm caches;
+//   - PCIe transfer time per expert is effectively constant (bytes /
+//     bandwidth + latency).
+//
+// The models are either taken from platform presets (A6000-class,
+// laptop-class) or fitted by the calibration warm-up phase from real
+// kernel timings (see Calibrate*), mirroring the warm-up phase HybriMoE
+// runs before inference.
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Device identifies a compute resource in schedules and traces.
+type Device int
+
+// Device values.
+const (
+	CPU Device = iota
+	GPU
+)
+
+// String names the device.
+func (d Device) String() string {
+	switch d {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("Device(%d)", int(d))
+	}
+}
+
+// CPUModel is the analytic cost model for the host CPU pool executing
+// expert kernels (llama.cpp-style INT4 GEMV/GEMM across a fixed number
+// of cores).
+type CPUModel struct {
+	Name string
+	// PeakFlops is the sustained aggregate floating-point throughput in
+	// FLOP/s across the cores dedicated to expert execution.
+	PeakFlops float64
+	// MemBandwidth is the sustainable weight-streaming bandwidth in
+	// bytes/s; single-token GEMV is bound by it.
+	MemBandwidth float64
+	// ExpertOverhead is the fixed per-expert dispatch cost in seconds.
+	ExpertOverhead float64
+	// WarmupPenalty is added to the first expert of a consecutive CPU
+	// burst (cold caches), matching Figure 3(e).
+	WarmupPenalty float64
+}
+
+// ExpertTime predicts seconds to execute one expert with the given FLOP
+// count and weight footprint. first marks the first expert of a burst.
+func (m CPUModel) ExpertTime(flops float64, bytes int64, first bool) float64 {
+	t := m.ExpertOverhead + math.Max(flops/m.PeakFlops, float64(bytes)/m.MemBandwidth)
+	if first {
+		t += m.WarmupPenalty
+	}
+	return t
+}
+
+// Validate reports an error when any parameter is non-positive where it
+// must be positive.
+func (m CPUModel) Validate() error {
+	if m.PeakFlops <= 0 || m.MemBandwidth <= 0 {
+		return fmt.Errorf("hw: CPU model %q needs positive throughputs", m.Name)
+	}
+	if m.ExpertOverhead < 0 || m.WarmupPenalty < 0 {
+		return fmt.Errorf("hw: CPU model %q has negative overheads", m.Name)
+	}
+	return nil
+}
+
+// GPUModel is the analytic cost model for the accelerator.
+type GPUModel struct {
+	Name string
+	// PeakFlops is the sustained throughput for quantized expert GEMMs.
+	PeakFlops float64
+	// MemBandwidth is device memory bandwidth in bytes/s; small-batch
+	// expert kernels are bound by weight reads.
+	MemBandwidth float64
+	// KernelLaunch is the fixed per-kernel dispatch cost in seconds,
+	// which dominates small workloads and makes GPU time ~flat in token
+	// count (Figure 3(f)).
+	KernelLaunch float64
+}
+
+// ExpertTime predicts seconds for one expert kernel on the GPU.
+func (m GPUModel) ExpertTime(flops float64, bytes int64) float64 {
+	return m.KernelLaunch + math.Max(flops/m.PeakFlops, float64(bytes)/m.MemBandwidth)
+}
+
+// Validate reports an error for non-physical parameters.
+func (m GPUModel) Validate() error {
+	if m.PeakFlops <= 0 || m.MemBandwidth <= 0 {
+		return fmt.Errorf("hw: GPU model %q needs positive throughputs", m.Name)
+	}
+	if m.KernelLaunch < 0 {
+		return fmt.Errorf("hw: GPU model %q has negative launch cost", m.Name)
+	}
+	return nil
+}
+
+// LinkModel is the CPU→GPU interconnect (PCIe) cost model.
+type LinkModel struct {
+	Name string
+	// BytesPerSec is effective unidirectional bandwidth.
+	BytesPerSec float64
+	// Latency is the fixed per-transfer setup cost in seconds.
+	Latency float64
+}
+
+// TransferTime predicts seconds to move bytes across the link.
+func (m LinkModel) TransferTime(bytes int64) float64 {
+	return m.Latency + float64(bytes)/m.BytesPerSec
+}
+
+// Validate reports an error for non-physical parameters.
+func (m LinkModel) Validate() error {
+	if m.BytesPerSec <= 0 {
+		return fmt.Errorf("hw: link model %q needs positive bandwidth", m.Name)
+	}
+	if m.Latency < 0 {
+		return fmt.Errorf("hw: link model %q has negative latency", m.Name)
+	}
+	return nil
+}
+
+// Platform bundles the three resources the scheduler reasons about.
+type Platform struct {
+	Name string
+	CPU  CPUModel
+	GPU  GPUModel
+	Link LinkModel
+}
+
+// Validate checks every component model.
+func (p *Platform) Validate() error {
+	if err := p.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := p.GPU.Validate(); err != nil {
+		return err
+	}
+	return p.Link.Validate()
+}

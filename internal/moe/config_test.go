@@ -1,0 +1,134 @@
+package moe
+
+import (
+	"testing"
+)
+
+func TestTableIIConfigs(t *testing.T) {
+	mix, qw, ds := Mixtral(), Qwen2(), DeepSeek()
+	// Table II rows.
+	cases := []struct {
+		cfg                               *Config
+		layers, shared, routed, activated int
+	}{
+		{mix, 32, 0, 8, 2},
+		{qw, 28, 1, 64, 8},
+		{ds, 26, 2, 64, 6},
+	}
+	for _, c := range cases {
+		if c.cfg.Layers != c.layers || c.cfg.SharedExperts != c.shared ||
+			c.cfg.RoutedExperts != c.routed || c.cfg.ActivatedExperts != c.activated {
+			t.Errorf("%s config mismatch with Table II: %+v", c.cfg.Name, c.cfg)
+		}
+		if err := c.cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.cfg.Name, err)
+		}
+	}
+	if mix.Hidden != 4096 || mix.Intermediate != 14336 {
+		t.Errorf("Mixtral expert shape %dx%d", mix.Hidden, mix.Intermediate)
+	}
+	if ds.Hidden != 2048 || ds.Intermediate != 1408 {
+		t.Errorf("DeepSeek expert shape %dx%d", ds.Hidden, ds.Intermediate)
+	}
+}
+
+func TestExpertSizeOrdering(t *testing.T) {
+	// Mixtral = few large experts; DeepSeek = many small experts. The
+	// byte footprint must reflect that, since it drives transfer times.
+	mix, ds, qw := Mixtral(), DeepSeek(), Qwen2()
+	if mix.ExpertBytes() <= 10*ds.ExpertBytes() {
+		t.Errorf("Mixtral expert (%d B) should dwarf DeepSeek expert (%d B)",
+			mix.ExpertBytes(), ds.ExpertBytes())
+	}
+	if qw.ExpertBytes() >= mix.ExpertBytes() {
+		t.Errorf("Qwen2 routed expert (%d B) should be smaller than Mixtral's (%d B)",
+			qw.ExpertBytes(), mix.ExpertBytes())
+	}
+	// Qwen2's shared expert is huge (20480 wide).
+	if qw.SharedExpertBytes() <= qw.ExpertBytes() {
+		t.Errorf("Qwen2 shared expert (%d B) should exceed routed (%d B)",
+			qw.SharedExpertBytes(), qw.ExpertBytes())
+	}
+	if mix.SharedExpertBytes() != 0 {
+		t.Errorf("Mixtral has no shared experts, got %d B", mix.SharedExpertBytes())
+	}
+}
+
+func TestExpertBytesInt4Scale(t *testing.T) {
+	// Mixtral expert ≈ 3 × 4096 × 14336 × 0.5 bytes ≈ 88 MB + scales.
+	got := Mixtral().ExpertBytes()
+	lo, hi := int64(85<<20), int64(95<<20)
+	if got < lo || got > hi {
+		t.Errorf("Mixtral INT4 expert bytes = %d, want within [%d, %d]", got, lo, hi)
+	}
+}
+
+func TestTotalAndCapacity(t *testing.T) {
+	mix := Mixtral()
+	if got := mix.TotalRoutedExperts(); got != 256 {
+		t.Fatalf("Mixtral total experts = %d, want 256", got)
+	}
+	if got := mix.CacheCapacity(0.25); got != 64 {
+		t.Fatalf("25%% capacity = %d, want 64", got)
+	}
+	if got := mix.CacheCapacity(0); got != 1 {
+		t.Fatalf("0%% capacity should clamp to 1, got %d", got)
+	}
+	ds := DeepSeek()
+	if got := ds.CacheCapacity(0.5); got != 832 {
+		t.Fatalf("DeepSeek 50%% capacity = %d, want 832", got)
+	}
+}
+
+func TestFlopsAccessors(t *testing.T) {
+	ds := DeepSeek()
+	if ds.ExpertFlops(2) != 2*ds.ExpertFlops(1) {
+		t.Error("ExpertFlops must be linear in tokens")
+	}
+	if ds.SharedFlops(1) <= 0 {
+		t.Error("DeepSeek shared flops must be positive")
+	}
+	if Mixtral().SharedFlops(10) != 0 {
+		t.Error("Mixtral shared flops must be zero")
+	}
+	// DeepSeek has 2 shared experts of the same shape as routed ones.
+	if got, want := ds.SharedFlops(1), 2*ds.ExpertFlops(1); got != want {
+		t.Errorf("DeepSeek shared flops = %v, want %v", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Mixtral", "Qwen2", "DeepSeek"} {
+		cfg, err := ByName(name)
+		if err != nil || cfg.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, cfg, err)
+		}
+	}
+	if _, err := ByName("GPT5"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []*Config{
+		{Name: "x", Layers: 0, RoutedExperts: 8, ActivatedExperts: 2, Hidden: 4, Intermediate: 4},
+		{Name: "x", Layers: 1, RoutedExperts: 0, ActivatedExperts: 2, Hidden: 4, Intermediate: 4},
+		{Name: "x", Layers: 1, RoutedExperts: 8, ActivatedExperts: 9, Hidden: 4, Intermediate: 4},
+		{Name: "x", Layers: 1, RoutedExperts: 8, ActivatedExperts: 0, Hidden: 4, Intermediate: 4},
+		{Name: "x", Layers: 1, RoutedExperts: 8, ActivatedExperts: 2, Hidden: 0, Intermediate: 4},
+		{Name: "x", Layers: 1, RoutedExperts: 8, ActivatedExperts: 2, Hidden: 4, Intermediate: 4, SharedExperts: -1},
+		{Name: "x", Layers: 1, RoutedExperts: 8, ActivatedExperts: 2, Hidden: 4, Intermediate: 4, SharedExperts: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %+v", i, c)
+		}
+	}
+}
+
+func TestExpertIDString(t *testing.T) {
+	id := ExpertID{Layer: 12, Index: 5}
+	if id.String() != "L12.E5" {
+		t.Fatalf("ExpertID string = %q", id.String())
+	}
+}

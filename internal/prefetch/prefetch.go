@@ -1,0 +1,205 @@
+// Package prefetch implements the paper's impact-driven inter-layer
+// prefetching (§IV-C) plus the baselines it is compared against.
+//
+// While a layer's experts execute, the PCIe link is often idle. The
+// prefetcher spends that idle time moving experts of upcoming layers to
+// the GPU. HybriMoE's contribution is *which* experts: it predicts the
+// next Window layers' activations by reusing gate information, then
+// simulates each candidate's effect on that future layer's schedule
+// (via the §IV-B scheduling simulator) and greedily prefetches the
+// candidates with the highest expected makespan reduction per transfer.
+package prefetch
+
+import (
+	"sort"
+
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/sched"
+)
+
+// DefaultWindow is the paper's lookahead depth: gate information of the
+// next three layers.
+const DefaultWindow = 3
+
+// Context carries everything a prefetcher may consult for one decision.
+type Context struct {
+	Cfg      *moe.Config
+	Platform *hw.Platform
+	// Layer is the layer whose execution is about to start/run; layers
+	// Layer+1 … Layer+Window are prefetch targets.
+	Layer int
+	// Budget is the PCIe idle time (seconds) available before the next
+	// layer's own transfers need the link. Prefetchers must keep the
+	// summed transfer time of their picks within it.
+	Budget float64
+	// PredictedLoads estimates per-expert token loads for a future
+	// layer (absolute index). Entries of zero mean "not predicted
+	// active".
+	PredictedLoads func(layer int) []int
+	// IsCached reports current GPU residency.
+	IsCached func(moe.ExpertID) bool
+	// Scheduler is the what-if simulator used to price candidates.
+	Scheduler sched.Scheduler
+}
+
+// Prefetcher selects experts to preload.
+type Prefetcher interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Select returns the expert IDs to transfer, in transfer order,
+	// with summed transfer time within ctx.Budget.
+	Select(ctx Context) []moe.ExpertID
+}
+
+// None never prefetches (the ablation baseline).
+type None struct{}
+
+// NewNone returns the no-op prefetcher.
+func NewNone() *None { return &None{} }
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// Select implements Prefetcher.
+func (None) Select(Context) []moe.ExpertID { return nil }
+
+// NextLayerTopK is the naive baseline most offloading frameworks use:
+// prefetch the predicted top-k experts of the next layer only, highest
+// predicted load first, ignoring scheduling impact.
+type NextLayerTopK struct{}
+
+// NewNextLayerTopK returns the naive next-layer prefetcher.
+func NewNextLayerTopK() *NextLayerTopK { return &NextLayerTopK{} }
+
+// Name implements Prefetcher.
+func (NextLayerTopK) Name() string { return "next-layer-topk" }
+
+// Select implements Prefetcher.
+func (NextLayerTopK) Select(ctx Context) []moe.ExpertID {
+	next := ctx.Layer + 1
+	if next >= ctx.Cfg.Layers {
+		return nil
+	}
+	loads := ctx.PredictedLoads(next)
+	type cand struct {
+		id   moe.ExpertID
+		load int
+	}
+	var cands []cand
+	for e, load := range loads {
+		if load == 0 {
+			continue
+		}
+		id := moe.ExpertID{Layer: next, Index: e}
+		if ctx.IsCached(id) {
+			continue
+		}
+		cands = append(cands, cand{id, load})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].load > cands[j].load })
+	xfer := ctx.Platform.Link.TransferTime(ctx.Cfg.ExpertBytes())
+	budget := ctx.Budget
+	var out []moe.ExpertID
+	for _, c := range cands {
+		if budget < xfer {
+			break
+		}
+		out = append(out, c.id)
+		budget -= xfer
+	}
+	return out
+}
+
+// ImpactDriven is the paper's prefetcher: candidates from the next
+// Window layers are priced by simulating the future layer's schedule
+// with and without the candidate resident, and the largest expected
+// gains are prefetched first.
+type ImpactDriven struct {
+	// Window is the lookahead depth in layers (DefaultWindow when 0).
+	Window int
+}
+
+// NewImpactDriven returns the impact-driven prefetcher with the paper's
+// 3-layer window.
+func NewImpactDriven() *ImpactDriven { return &ImpactDriven{Window: DefaultWindow} }
+
+// Name implements Prefetcher.
+func (p *ImpactDriven) Name() string { return "impact-driven" }
+
+// Select implements Prefetcher.
+func (p *ImpactDriven) Select(ctx Context) []moe.ExpertID {
+	window := p.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	xfer := ctx.Platform.Link.TransferTime(ctx.Cfg.ExpertBytes())
+	if ctx.Budget < xfer {
+		return nil
+	}
+
+	type scored struct {
+		id   moe.ExpertID
+		gain float64
+	}
+	var cands []scored
+	for d := 1; d <= window; d++ {
+		layer := ctx.Layer + d
+		if layer >= ctx.Cfg.Layers {
+			break
+		}
+		loads := ctx.PredictedLoads(layer)
+		tasks := sched.TasksFromLoads(ctx.Cfg, layer, loads, ctx.IsCached)
+		if len(tasks) == 0 {
+			continue
+		}
+		base := sched.SimulateMakespan(ctx.Scheduler, tasks, ctx.Platform, sched.Resources{}, nil)
+		for _, task := range tasks {
+			if task.Cached {
+				continue
+			}
+			with := sched.SimulateMakespan(ctx.Scheduler, tasks, ctx.Platform, sched.Resources{},
+				map[moe.ExpertID]bool{task.ID: true})
+			gain := base - with
+			if gain <= 0 {
+				continue
+			}
+			// Discount distant layers: prediction error grows with
+			// lookahead, so a nearer equal gain is worth more.
+			gain /= float64(d)
+			cands = append(cands, scored{id: task.ID, gain: gain})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+
+	budget := ctx.Budget
+	var out []moe.ExpertID
+	for _, c := range cands {
+		if budget < xfer {
+			break
+		}
+		out = append(out, c.id)
+		budget -= xfer
+	}
+	return out
+}
+
+var (
+	_ Prefetcher = (*None)(nil)
+	_ Prefetcher = (*NextLayerTopK)(nil)
+	_ Prefetcher = (*ImpactDriven)(nil)
+)
+
+// ByName constructs a prefetcher from its experiment-table name.
+func ByName(name string) (Prefetcher, bool) {
+	switch name {
+	case "none":
+		return NewNone(), true
+	case "next-layer-topk":
+		return NewNextLayerTopK(), true
+	case "impact-driven":
+		return NewImpactDriven(), true
+	default:
+		return nil, false
+	}
+}

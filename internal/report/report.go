@@ -1,0 +1,174 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, the formats the cmd/hybrimoe harness and EXPERIMENTS.md use.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows with a fixed header and renders them aligned.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	if len(columns) == 0 {
+		panic("report: table needs at least one column")
+	}
+	return &Table{Title: title, header: columns}
+}
+
+// AddRow appends a row; fmt.Sprint is applied to every cell. A row with
+// the wrong arity panics — it is always a harness bug.
+func (t *Table) AddRow(cells ...interface{}) {
+	if len(cells) != len(t.header) {
+		panic(fmt.Sprintf("report: row has %d cells for %d columns", len(cells), len(t.header)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// RenderCSV writes the table as CSV (no quoting; cells are numeric or
+// simple identifiers by construction).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.header, ","))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named (x, y) sequence — one line of a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// AddPoint appends one point.
+func (s *Series) AddPoint(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a set of series sharing an x axis, rendered as a wide table
+// (one row per x, one column per series).
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []*Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xlabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel}
+}
+
+// AddSeries appends a named series and returns it for point insertion.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render writes the figure as an aligned table, merging series on exact
+// x values in the order points were added to the first series.
+func (f *Figure) Render(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(f.Title, cols...)
+	if len(f.Series) == 0 {
+		t.Render(w)
+		return
+	}
+	for i, x := range f.Series[0].X {
+		row := []interface{}{formatFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, s.Y[i])
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "model", "latency(s)", "speedup")
+	tb.AddRow("DeepSeek", 0.123456, 1.7)
+	tb.AddRow("Mixtral", 1.5, 1.33)
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "model") || !strings.Contains(lines[1], "speedup") {
+		t.Fatalf("header wrong: %s", lines[1])
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Fatalf("sub-1 float should use 4 decimals:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Fatalf("1..100 float should use 3 decimals:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbbbbbb")
+	tb.AddRow("xxxxxxxxxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All lines should align: header starts with "a" padded to 10.
+	if len(lines[0]) < 10 {
+		t.Fatalf("header not padded: %q", lines[0])
+	}
+	if strings.Contains(out, "##") {
+		t.Fatal("untitled table should omit title line")
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero columns should panic")
+			}
+		}()
+		NewTable("x")
+	}()
+	tb := NewTable("x", "a", "b")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong arity should panic")
+			}
+		}()
+		tb.AddRow("only-one")
+	}()
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1.0, 2.0)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	want := "a,b\n1.000,2.000\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.0123: "0.0123",
+		5.5:    "5.500",
+		123.45: "123.5",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("Decode latency", "cache%")
+	a := f.AddSeries("llama.cpp")
+	b := f.AddSeries("HybriMoE")
+	for _, x := range []float64{25, 50, 75} {
+		a.AddPoint(x, x*2)
+		b.AddPoint(x, x)
+	}
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "llama.cpp") || !strings.Contains(out, "HybriMoE") {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if !strings.Contains(out, "cache%") {
+		t.Fatalf("missing x label:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 data rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFigureRaggedSeries(t *testing.T) {
+	f := NewFigure("r", "x")
+	a := f.AddSeries("full")
+	b := f.AddSeries("short")
+	a.AddPoint(1, 10)
+	a.AddPoint(2, 20)
+	b.AddPoint(1, 11)
+	var sb strings.Builder
+	f.Render(&sb) // must not panic on the missing point
+	if !strings.Contains(sb.String(), "20.00") && !strings.Contains(sb.String(), "20.000") {
+		t.Fatalf("long series data lost:\n%s", sb.String())
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := NewFigure("empty", "x")
+	var sb strings.Builder
+	f.Render(&sb)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty figure should still render header")
+	}
+}

@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/stats"
+)
+
+func TestKTransStaticMapping(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{
+		unitTask(0, 2, true),  // GPU
+		unitTask(1, 3, false), // CPU
+		unitTask(2, 1, false), // CPU
+	}
+	plan := NewKTransStatic().Plan(tasks, p, Resources{})
+	if err := plan.Validate(tasks, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range plan.Ops {
+		switch op.Expert {
+		case id(0, 0):
+			if op.Kind != OpComputeGPU {
+				t.Fatalf("cached expert ran on %v", op.Kind)
+			}
+		default:
+			if op.Kind != OpComputeCPU {
+				t.Fatalf("uncached expert ran on %v", op.Kind)
+			}
+		}
+	}
+	if len(plan.Transferred) != 0 {
+		t.Fatal("static mapping never transfers")
+	}
+	// CPU serial: 1 + 3 = 4 units; GPU: 1. Makespan 4.
+	if math.Abs(plan.Makespan-4) > 1e-9 {
+		t.Fatalf("makespan = %v, want 4", plan.Makespan)
+	}
+}
+
+func TestKTransStaticEdgeCases(t *testing.T) {
+	p := hw.UnitPlatform()
+	empty := NewKTransStatic().Plan(nil, p, Resources{})
+	if empty.Makespan != 0 {
+		t.Fatal("empty plan should have zero makespan")
+	}
+	onlyGPU := []Task{unitTask(0, 2, true)}
+	plan := NewKTransStatic().Plan(onlyGPU, p, Resources{})
+	if math.Abs(plan.Makespan-1) > 1e-9 {
+		t.Fatalf("GPU-only makespan = %v, want 1", plan.Makespan)
+	}
+	onlyCPU := []Task{unitTask(0, 2, false)}
+	plan = NewKTransStatic().Plan(onlyCPU, p, Resources{})
+	if math.Abs(plan.Makespan-2) > 1e-9 {
+		t.Fatalf("CPU-only makespan = %v, want 2", plan.Makespan)
+	}
+}
+
+func TestGPUCentricTransfersEverythingMissing(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{
+		unitTask(0, 1, true),
+		unitTask(1, 5, false),
+		unitTask(2, 2, false),
+	}
+	plan := NewGPUCentric().Plan(tasks, p, Resources{})
+	if err := plan.Validate(tasks, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Transferred) != 2 {
+		t.Fatalf("transferred = %v, want both misses", plan.Transferred)
+	}
+	var cpuOps int
+	for _, op := range plan.Ops {
+		if op.Kind == OpComputeCPU {
+			cpuOps++
+		}
+	}
+	if cpuOps != 0 {
+		t.Fatal("GPU-centric must not use the CPU")
+	}
+	// Transfers serialise: 3 + 3 = 6; last compute after t=6.
+	if plan.Makespan < 6 {
+		t.Fatalf("makespan %v should reflect serialized on-demand loads", plan.Makespan)
+	}
+	// Highest-load miss transfers first.
+	for _, op := range plan.Ops {
+		if op.Kind == OpTransfer {
+			if op.Expert != id(0, 1) {
+				t.Fatalf("first transfer should be the load-5 expert, got %v", op.Expert)
+			}
+			break
+		}
+	}
+}
+
+func TestGPUCentricCachedOnlyFast(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{unitTask(0, 4, true), unitTask(1, 2, true)}
+	plan := NewGPUCentric().Plan(tasks, p, Resources{})
+	if err := plan.Validate(tasks, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Makespan-2) > 1e-9 {
+		t.Fatalf("cached-only GPU makespan = %v, want 2", plan.Makespan)
+	}
+}
+
+func TestStaticSplitLayers(t *testing.T) {
+	p := hw.UnitPlatform()
+	split := NewStaticSplit(func(l int) bool { return l < 2 })
+
+	gpuLayer := []Task{
+		{ID: id(1, 0), Load: 3, Flops: 3, Bytes: 1, Cached: true},
+		{ID: id(1, 1), Load: 1, Flops: 1, Bytes: 1, Cached: true},
+	}
+	plan := split.Plan(gpuLayer, p, Resources{})
+	if err := plan.Validate(gpuLayer, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range plan.Ops {
+		if op.Kind != OpComputeGPU {
+			t.Fatalf("GPU layer op on %v", op.Kind)
+		}
+	}
+	if math.Abs(plan.Makespan-2) > 1e-9 {
+		t.Fatalf("GPU layer makespan = %v, want 2", plan.Makespan)
+	}
+
+	cpuLayer := []Task{
+		{ID: id(5, 0), Load: 3, Flops: 3, Bytes: 1, Cached: false},
+		{ID: id(5, 1), Load: 1, Flops: 1, Bytes: 1, Cached: false},
+	}
+	plan = split.Plan(cpuLayer, p, Resources{})
+	if err := plan.Validate(cpuLayer, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range plan.Ops {
+		if op.Kind != OpComputeCPU {
+			t.Fatalf("CPU layer op on %v", op.Kind)
+		}
+	}
+	if math.Abs(plan.Makespan-4) > 1e-9 {
+		t.Fatalf("CPU layer makespan = %v, want 4", plan.Makespan)
+	}
+	if empty := split.Plan(nil, p, Resources{}); empty.Makespan != 0 {
+		t.Fatal("empty layer should be free")
+	}
+}
+
+// HybriMoE must never lose to kTransformers' static mapping — it
+// explores a strict superset of that strategy's choices.
+func TestHybriMoEDominatesKTransformers(t *testing.T) {
+	rng := stats.NewRNG(555)
+	cfg := moe.DeepSeek()
+	platforms := []*hw.Platform{hw.A6000Platform(), hw.LaptopPlatform()}
+	var winSum float64
+	trials := 300
+	for trial := 0; trial < trials; trial++ {
+		p := platforms[trial%2]
+		n := 2 + rng.Intn(8)
+		var tasks []Task
+		for e := 0; e < n; e++ {
+			load := 1
+			if rng.Float64() < 0.5 {
+				load = 1 + rng.Intn(64)
+			}
+			tasks = append(tasks, Task{
+				ID: id(0, e), Load: load,
+				Flops:  cfg.ExpertFlops(load),
+				Bytes:  cfg.ExpertBytes(),
+				Cached: rng.Float64() < 0.4,
+			})
+		}
+		hybrid := NewHybriMoE().Plan(tasks, p, Resources{}).Makespan
+		ktrans := NewKTransStatic().Plan(tasks, p, Resources{}).Makespan
+		if hybrid > ktrans+1e-12 {
+			t.Fatalf("trial %d: HybriMoE %v slower than kTransformers %v", trial, hybrid, ktrans)
+		}
+		if ktrans > 0 {
+			winSum += ktrans / hybrid
+		}
+	}
+	t.Logf("mean kTransformers/HybriMoE makespan ratio: %.3f", winSum/float64(trials))
+	if winSum/float64(trials) < 1.05 {
+		t.Error("HybriMoE shows no meaningful advantage over static mapping on mixed loads")
+	}
+}
+
+func TestExhaustiveRefusesHugeInstances(t *testing.T) {
+	var tasks []Task
+	for e := 0; e < MaxExhaustiveTasks+1; e++ {
+		tasks = append(tasks, unitTask(e, 1, false))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustive should panic above its size bound")
+		}
+	}()
+	NewExhaustive().Plan(tasks, hw.UnitPlatform(), Resources{})
+}
+
+func TestExhaustiveEmpty(t *testing.T) {
+	plan := NewExhaustive().Plan(nil, hw.UnitPlatform(), Resources{})
+	if plan.Makespan != 0 {
+		t.Fatal("empty exhaustive plan should be free")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	cases := map[string]Scheduler{
+		"HybriMoE":      NewHybriMoE(),
+		"KTransformers": NewKTransStatic(),
+		"AdapMoE":       NewGPUCentric(),
+		"llama.cpp":     NewStaticSplit(nil),
+		"Exhaustive":    NewExhaustive(),
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("scheduler name %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestPlanValidateCatchesCorruption(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{unitTask(0, 2, false)}
+	plan := NewHybriMoE().Plan(tasks, p, Resources{})
+	good := *plan
+	// Drop the compute op.
+	bad := Plan{Ops: nil, Makespan: 0}
+	if err := bad.Validate(tasks, Resources{}); err == nil {
+		t.Error("missing compute should fail validation")
+	}
+	// Tamper with makespan.
+	bad2 := good
+	bad2.Makespan += 1
+	if err := bad2.Validate(tasks, Resources{}); err == nil {
+		t.Error("wrong makespan should fail validation")
+	}
+}

@@ -1,0 +1,305 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/stats"
+)
+
+func id(l, e int) moe.ExpertID { return moe.ExpertID{Layer: l, Index: e} }
+
+// unitTask builds a task on the unit platform where Flops == load units
+// of CPU time and Bytes == 1 (one 3-unit transfer).
+func unitTask(e, load int, cached bool) Task {
+	return Task{ID: id(0, e), Load: load, Flops: float64(load), Bytes: 1, Cached: cached}
+}
+
+// TestPaperFigure5Example replays the paper's scheduling walk-through:
+// uncached A:1, B:1, C:3 and cached D:4, E:1 on a platform where GPU
+// compute is 1 unit per expert, CPU compute equals the load, and a
+// transfer takes 3 units. The optimal strategy computes A and B on the
+// CPU, transfers C to the GPU, and finishes everything by t=4.
+func TestPaperFigure5Example(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{
+		unitTask(0, 1, false), // A
+		unitTask(1, 1, false), // B
+		unitTask(2, 3, false), // C
+		unitTask(3, 4, true),  // D
+		unitTask(4, 1, true),  // E
+	}
+	plan := NewHybriMoE().Plan(tasks, p, Resources{})
+	if err := plan.Validate(tasks, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Makespan-4) > 1e-9 {
+		t.Fatalf("makespan = %v, want 4 (paper's optimum)\nops: %+v", plan.Makespan, plan.Ops)
+	}
+	// C must reach the GPU via transfer, not be ground out on the CPU.
+	var cOnGPU, cTransferred bool
+	for _, op := range plan.Ops {
+		if op.Expert == id(0, 2) {
+			switch op.Kind {
+			case OpComputeGPU:
+				cOnGPU = true
+			case OpTransfer:
+				cTransferred = true
+			}
+		}
+	}
+	if !cOnGPU || !cTransferred {
+		t.Fatalf("expert C should be loaded to the GPU instead of computed on CPU\nops: %+v", plan.Ops)
+	}
+	// A and B run on the CPU.
+	for _, e := range []int{0, 1} {
+		found := false
+		for _, op := range plan.Ops {
+			if op.Expert == id(0, e) && op.Kind == OpComputeCPU {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("low-load uncached expert %d should run on CPU", e)
+		}
+	}
+}
+
+func TestHybriMoEEmptyPlan(t *testing.T) {
+	plan := NewHybriMoE().Plan(nil, hw.UnitPlatform(), Resources{})
+	if plan.Makespan != 0 || len(plan.Ops) != 0 {
+		t.Fatal("empty task list should give empty plan")
+	}
+}
+
+func TestHybriMoEAllCached(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{unitTask(0, 5, true), unitTask(1, 1, true), unitTask(2, 2, true)}
+	plan := NewHybriMoE().Plan(tasks, p, Resources{})
+	if err := plan.Validate(tasks, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	// 3 cached experts: GPU alone takes 3 units; the CPU can steal the
+	// low-load ones. Optimal is 2 (GPU computes 2, CPU steals 1) — the
+	// greedy must do no worse than GPU-only.
+	if plan.Makespan > 3+1e-9 {
+		t.Fatalf("makespan %v worse than trivial GPU-only bound 3", plan.Makespan)
+	}
+	if len(plan.Transferred) != 0 {
+		t.Fatal("cached-only layer must not transfer")
+	}
+}
+
+func TestHybriMoECPUStealsCachedWhenIdle(t *testing.T) {
+	p := hw.UnitPlatform()
+	// Only cached experts, many of them: the CPU should pick up some
+	// low-load ones rather than idle (paper's CPU priority rule).
+	var tasks []Task
+	for e := 0; e < 6; e++ {
+		tasks = append(tasks, unitTask(e, 1, true))
+	}
+	plan := NewHybriMoE().Plan(tasks, p, Resources{})
+	if err := plan.Validate(tasks, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	var cpuOps int
+	for _, op := range plan.Ops {
+		if op.Kind == OpComputeCPU {
+			cpuOps++
+		}
+	}
+	if cpuOps == 0 {
+		t.Fatalf("CPU stayed idle with 6 cached unit tasks:\n%+v", plan.Ops)
+	}
+	if plan.Makespan > 4+1e-9 {
+		t.Fatalf("steal-balanced makespan %v, want ≤4", plan.Makespan)
+	}
+}
+
+func TestHybriMoEAllUncachedDecode(t *testing.T) {
+	// Decode-style: unit loads, all missing. With transfer=3 and CPU=1
+	// per task, the CPU should do nearly everything.
+	p := hw.UnitPlatform()
+	var tasks []Task
+	for e := 0; e < 4; e++ {
+		tasks = append(tasks, unitTask(e, 1, false))
+	}
+	plan := NewHybriMoE().Plan(tasks, p, Resources{})
+	if err := plan.Validate(tasks, Resources{}); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan > 4+1e-9 {
+		t.Fatalf("decode makespan %v, want ≤4 (CPU serial bound)", plan.Makespan)
+	}
+}
+
+func TestHybriMoERespectsResourceOffsets(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{unitTask(0, 2, true)}
+	// GPU busy until t=10 (attention/shared experts): the CPU should
+	// steal the single cached expert rather than wait.
+	plan := NewHybriMoE().Plan(tasks, p, Resources{GPUFree: 10})
+	if err := plan.Validate(tasks, Resources{GPUFree: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan > 2+1e-9 {
+		t.Fatalf("makespan %v: scheduler waited for busy GPU instead of stealing", plan.Makespan)
+	}
+	if plan.Ops[0].Kind != OpComputeCPU {
+		t.Fatalf("expected CPU steal, got %+v", plan.Ops)
+	}
+}
+
+func TestHybriMoENegativeResourcesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative resources should panic")
+		}
+	}()
+	NewHybriMoE().Plan(nil, hw.UnitPlatform(), Resources{CPUFree: -1})
+}
+
+func TestHybriMoECPUWarmupAppliedOnce(t *testing.T) {
+	p := hw.A6000Platform()
+	cfg := moe.DeepSeek()
+	var tasks []Task
+	for e := 0; e < 4; e++ {
+		tasks = append(tasks, Task{
+			ID: id(0, e), Load: 1,
+			Flops: cfg.ExpertFlops(1), Bytes: cfg.ExpertBytes(),
+			Cached: false,
+		})
+	}
+	plan := NewHybriMoE().Plan(tasks, p, Resources{})
+	var cpuSpans []Op
+	for _, op := range plan.Ops {
+		if op.Kind == OpComputeCPU {
+			cpuSpans = append(cpuSpans, op)
+		}
+	}
+	if len(cpuSpans) < 2 {
+		t.Skip("not enough CPU ops to compare")
+	}
+	first := cpuSpans[0].End - cpuSpans[0].Start
+	second := cpuSpans[1].End - cpuSpans[1].Start
+	if first <= second {
+		t.Fatalf("first CPU op (%v) should pay the warm-up over the second (%v)", first, second)
+	}
+}
+
+// The greedy simulation should stay close to the exhaustive assignment
+// optimum on small random instances (DESIGN.md ablation 1).
+func TestHybriMoENearOptimal(t *testing.T) {
+	p := hw.UnitPlatform()
+	rng := stats.NewRNG(314)
+	var worst float64
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		var tasks []Task
+		for e := 0; e < n; e++ {
+			tasks = append(tasks, unitTask(e, 1+rng.Intn(6), rng.Float64() < 0.5))
+		}
+		greedy := NewHybriMoE().Plan(tasks, p, Resources{})
+		if err := greedy.Validate(tasks, Resources{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		optimal := NewExhaustive().Plan(tasks, p, Resources{})
+		if optimal.Makespan <= 0 {
+			continue
+		}
+		ratio := greedy.Makespan / optimal.Makespan
+		if ratio < 1-1e-9 {
+			t.Fatalf("trial %d: greedy %v beat 'optimal' %v — exhaustive reference broken",
+				trial, greedy.Makespan, optimal.Makespan)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Logf("worst greedy/optimal ratio over 200 trials: %.3f", worst)
+	if worst > 1.5 {
+		t.Fatalf("greedy strays %.2fx from optimum — priority rules broken", worst)
+	}
+}
+
+// Property: plans validate for arbitrary task mixes on both realistic
+// platforms.
+func TestHybriMoEPlanAlwaysValid(t *testing.T) {
+	platforms := []*hw.Platform{hw.A6000Platform(), hw.LaptopPlatform(), hw.UnitPlatform()}
+	rng := stats.NewRNG(271)
+	cfg := moe.Mixtral()
+	for trial := 0; trial < 300; trial++ {
+		p := platforms[trial%len(platforms)]
+		n := 1 + rng.Intn(10)
+		var tasks []Task
+		for e := 0; e < n; e++ {
+			load := 1 + rng.Intn(100)
+			tasks = append(tasks, Task{
+				ID: id(trial%32, e), Load: load,
+				Flops:  cfg.ExpertFlops(load),
+				Bytes:  cfg.ExpertBytes(),
+				Cached: rng.Float64() < 0.4,
+			})
+		}
+		res := Resources{
+			CPUFree:  rng.Float64() * 1e-3,
+			GPUFree:  rng.Float64() * 1e-3,
+			LinkFree: rng.Float64() * 1e-3,
+		}
+		plan := NewHybriMoE().Plan(tasks, p, res)
+		if err := plan.Validate(tasks, res); err != nil {
+			t.Fatalf("trial %d on %s: %v", trial, p.Name, err)
+		}
+	}
+}
+
+func TestSimulateMakespanCachedOverride(t *testing.T) {
+	p := hw.UnitPlatform()
+	tasks := []Task{unitTask(0, 3, false)}
+	base := SimulateMakespan(NewHybriMoE(), tasks, p, Resources{}, nil)
+	// Pretend the expert were cached: makespan should drop to 1 GPU unit
+	// (or the CPU steal at 3 — GPU is faster).
+	cached := SimulateMakespan(NewHybriMoE(), tasks, p, Resources{},
+		map[moe.ExpertID]bool{id(0, 0): true})
+	if cached >= base {
+		t.Fatalf("caching override should shrink makespan: %v vs %v", cached, base)
+	}
+	if math.Abs(cached-1) > 1e-9 {
+		t.Fatalf("cached makespan = %v, want 1", cached)
+	}
+	// The override must not mutate the caller's tasks.
+	if tasks[0].Cached {
+		t.Fatal("SimulateMakespan mutated input tasks")
+	}
+}
+
+func TestTasksFromLoads(t *testing.T) {
+	cfg := moe.DeepSeek()
+	loads := make([]int, cfg.RoutedExperts)
+	loads[3] = 5
+	loads[7] = 1
+	tasks := TasksFromLoads(cfg, 2, loads, func(e moe.ExpertID) bool { return e.Index == 3 })
+	if len(tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(tasks))
+	}
+	if tasks[0].ID != id(2, 3) || !tasks[0].Cached || tasks[0].Load != 5 {
+		t.Fatalf("task[0] = %+v", tasks[0])
+	}
+	if tasks[1].ID != id(2, 7) || tasks[1].Cached {
+		t.Fatalf("task[1] = %+v", tasks[1])
+	}
+	if tasks[0].Flops != cfg.ExpertFlops(5) || tasks[0].Bytes != cfg.ExpertBytes() {
+		t.Fatal("task sizing wrong")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpComputeCPU.String() != "cpu" || OpComputeGPU.String() != "gpu" || OpTransfer.String() != "xfer" {
+		t.Fatal("op kind names wrong")
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Fatal("unknown op kind formatting")
+	}
+}

@@ -1,0 +1,214 @@
+// Package sched implements the paper's core contribution: the hybrid
+// CPU-GPU intra-layer scheduling strategy (§IV-B), alongside the three
+// baseline strategies it is evaluated against (llama.cpp-style static
+// layer mapping, AdapMoE-style GPU-centric loading, kTransformers-style
+// static hybrid mapping).
+//
+// A scheduler receives the activated experts of one MoE layer as Tasks —
+// each with a token load, FLOP count, weight footprint and residency
+// flag — plus the platform cost models and the current occupancy of the
+// three resource timelines, and produces a Plan: a set of timed
+// operations (CPU compute, GPU compute, PCIe transfer) whose makespan is
+// the layer's routed-expert latency.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+)
+
+// Task is one routed expert's work for the current layer.
+type Task struct {
+	ID moe.ExpertID
+	// Load is the token count routed to this expert (1 at decode).
+	Load int
+	// Flops is the total compute for Load tokens.
+	Flops float64
+	// Bytes is the INT4 weight footprint (the transfer size on miss).
+	Bytes int64
+	// Cached reports GPU residency at scheduling time.
+	Cached bool
+}
+
+// OpKind classifies plan operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpComputeCPU OpKind = iota
+	OpComputeGPU
+	OpTransfer
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpComputeCPU:
+		return "cpu"
+	case OpComputeGPU:
+		return "gpu"
+	case OpTransfer:
+		return "xfer"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one scheduled operation with times relative to the layer start.
+type Op struct {
+	Expert moe.ExpertID
+	Kind   OpKind
+	Load   int
+	Start  float64
+	End    float64
+}
+
+// Plan is a complete schedule for one layer's routed experts.
+type Plan struct {
+	Ops []Op
+	// Makespan is when the last routed-expert computation finishes,
+	// relative to the layer start.
+	Makespan float64
+	// Transferred lists experts moved to the GPU by this plan (they
+	// should be inserted into the expert cache on completion).
+	Transferred []moe.ExpertID
+}
+
+// Resources carries the occupancy of the three timelines at the moment
+// the layer starts, as offsets ≥ 0 relative to the layer start. GPUFree
+// is typically positive (attention + shared experts run first); LinkFree
+// is positive when a prefetch from an earlier layer still occupies PCIe.
+type Resources struct {
+	CPUFree  float64
+	GPUFree  float64
+	LinkFree float64
+}
+
+func (r Resources) validate() {
+	if r.CPUFree < 0 || r.GPUFree < 0 || r.LinkFree < 0 {
+		panic(fmt.Sprintf("sched: negative resource offsets %+v", r))
+	}
+}
+
+// Scheduler plans one layer.
+type Scheduler interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Plan schedules the tasks. Implementations must not retain tasks.
+	Plan(tasks []Task, p *hw.Platform, res Resources) *Plan
+}
+
+// Validate checks plan invariants against the task list: every task
+// computed exactly once, transfers precede their GPU compute, and ops on
+// the same resource never overlap. Tests and the engine's debug mode use
+// it; it returns nil for a well-formed plan.
+func (pl *Plan) Validate(tasks []Task, res Resources) error {
+	computed := make(map[moe.ExpertID]int)
+	transferred := make(map[moe.ExpertID]float64)
+	var cpuOps, gpuOps, xferOps []Op
+	for _, op := range pl.Ops {
+		switch op.Kind {
+		case OpComputeCPU:
+			computed[op.Expert]++
+			cpuOps = append(cpuOps, op)
+		case OpComputeGPU:
+			computed[op.Expert]++
+			gpuOps = append(gpuOps, op)
+		case OpTransfer:
+			if _, dup := transferred[op.Expert]; dup {
+				return fmt.Errorf("sched: %v transferred twice", op.Expert)
+			}
+			transferred[op.Expert] = op.End
+			xferOps = append(xferOps, op)
+		}
+		if op.End < op.Start {
+			return fmt.Errorf("sched: op %v ends before it starts", op)
+		}
+	}
+	for _, task := range tasks {
+		if computed[task.ID] != 1 {
+			return fmt.Errorf("sched: task %v computed %d times", task.ID, computed[task.ID])
+		}
+	}
+	if len(computed) != len(tasks) {
+		return fmt.Errorf("sched: %d computed experts for %d tasks", len(computed), len(tasks))
+	}
+	byID := make(map[moe.ExpertID]Task, len(tasks))
+	for _, t := range tasks {
+		byID[t.ID] = t
+	}
+	for _, op := range gpuOps {
+		task, ok := byID[op.Expert]
+		if !ok {
+			return fmt.Errorf("sched: GPU op for unknown task %v", op.Expert)
+		}
+		if !task.Cached {
+			end, ok := transferred[op.Expert]
+			if !ok {
+				return fmt.Errorf("sched: uncached %v computed on GPU without transfer", op.Expert)
+			}
+			if op.Start < end-1e-9 {
+				return fmt.Errorf("sched: %v GPU compute at %v before transfer end %v", op.Expert, op.Start, end)
+			}
+		}
+	}
+	for _, op := range xferOps {
+		if t := byID[op.Expert]; t.Cached {
+			return fmt.Errorf("sched: cached %v transferred", op.Expert)
+		}
+	}
+	checkSerial := func(ops []Op, free float64, what string) error {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+		prevEnd := free
+		for _, op := range ops {
+			if op.Start < prevEnd-1e-9 {
+				return fmt.Errorf("sched: %s ops overlap at %v (prev end %v)", what, op.Start, prevEnd)
+			}
+			prevEnd = op.End
+		}
+		return nil
+	}
+	if err := checkSerial(cpuOps, res.CPUFree, "CPU"); err != nil {
+		return err
+	}
+	if err := checkSerial(gpuOps, res.GPUFree, "GPU"); err != nil {
+		return err
+	}
+	if err := checkSerial(xferOps, res.LinkFree, "PCIe"); err != nil {
+		return err
+	}
+	var maxEnd float64
+	for _, op := range pl.Ops {
+		if op.Kind != OpTransfer && op.End > maxEnd {
+			maxEnd = op.End
+		}
+	}
+	if diff := pl.Makespan - maxEnd; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("sched: makespan %v != last compute end %v", pl.Makespan, maxEnd)
+	}
+	return nil
+}
+
+// TasksFromLoads builds the task list for one layer from per-expert
+// token loads, using cfg for sizing and isCached for residency. Experts
+// with zero load are skipped.
+func TasksFromLoads(cfg *moe.Config, layer int, loads []int, isCached func(moe.ExpertID) bool) []Task {
+	var tasks []Task
+	for e, load := range loads {
+		if load == 0 {
+			continue
+		}
+		id := moe.ExpertID{Layer: layer, Index: e}
+		tasks = append(tasks, Task{
+			ID:     id,
+			Load:   load,
+			Flops:  cfg.ExpertFlops(load),
+			Bytes:  cfg.ExpertBytes(),
+			Cached: isCached(id),
+		})
+	}
+	return tasks
+}

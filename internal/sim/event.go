@@ -1,0 +1,114 @@
+// Package sim provides the discrete-event simulation core the hardware
+// substrate runs on: a virtual clock with an event queue, resource
+// timelines that serialise work on a device, and span traces that record
+// what ran where (the simulated equivalent of a CUDA-stream timeline).
+//
+// Time is modelled in float64 seconds. Determinism matters more than
+// wall-clock fidelity: events at equal timestamps fire in scheduling
+// order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	At  float64
+	Fn  func()
+	seq int64 // tie-break: FIFO among equal timestamps
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and event queue. The zero value is
+// usable; NewEngine is provided for symmetry.
+type Engine struct {
+	now    float64
+	queue  eventHeap
+	nextSq int64
+	ran    int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// EventsRun reports how many events have fired.
+func (e *Engine) EventsRun() int64 { return e.ran }
+
+// Schedule enqueues fn to run at virtual time at. Scheduling in the past
+// panics: it indicates a causality bug in the caller.
+func (e *Engine) Schedule(at float64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextSq}
+	e.nextSq++
+	heap.Push(&e.queue, ev)
+}
+
+// ScheduleAfter enqueues fn to run delay seconds from now.
+func (e *Engine) ScheduleAfter(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Step fires the next event, advancing the clock to it, and reports
+// whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.ran++
+	ev.Fn()
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final clock
+// value.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, leaves later events
+// queued, and advances the clock to min(deadline, last event time).
+func (e *Engine) RunUntil(deadline float64) float64 {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Observations
+// outside the range are clamped into the first or last bin so totals are
+// preserved. Construct with NewHistogram.
+type Histogram struct {
+	lo, hi float64
+	bins   []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with nbins equal-width bins spanning
+// [lo, hi). It panics on a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: histogram range [%v,%v) is empty", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+	h.total++
+}
+
+// Total reports the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bin reports the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins reports the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinCenter reports the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + (float64(i)+0.5)*w
+}
+
+// CDF returns cumulative fractions per bin upper edge; the last entry is
+// always 1 when any observation has been recorded.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.bins))
+	var cum int64
+	for i, b := range h.bins {
+		cum += b
+		if h.total > 0 {
+			out[i] = float64(cum) / float64(h.total)
+		}
+	}
+	return out
+}
+
+// Sparkline renders the histogram as a one-line unicode bar chart, which
+// keeps experiment logs compact.
+func (h *Histogram) Sparkline() string {
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	var max int64
+	for _, b := range h.bins {
+		if b > max {
+			max = b
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("▁", len(h.bins))
+	}
+	var sb strings.Builder
+	for _, b := range h.bins {
+		idx := int(float64(b) / float64(max) * float64(len(glyphs)-1))
+		sb.WriteRune(glyphs[idx])
+	}
+	return sb.String()
+}
+
+// FrequencyCDF computes the cumulative-share curve used by the paper's
+// Figure 3(a): given per-item activation counts, it sorts items by
+// descending frequency and returns, for each prefix of items, the
+// cumulative fraction of all activations they account for. The returned
+// slice has one entry per item; entry i is the share covered by the
+// (i+1) most-active items.
+//
+// A strongly skewed process (neuron sparsity) saturates quickly; MoE
+// expert activations rise much more gradually.
+func FrequencyCDF(counts []int64) []float64 {
+	sorted := make([]int64, len(counts))
+	copy(sorted, counts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	var total int64
+	for _, c := range sorted {
+		total += c
+	}
+	out := make([]float64, len(sorted))
+	var cum int64
+	for i, c := range sorted {
+		cum += c
+		if total > 0 {
+			out[i] = float64(cum) / float64(total)
+		}
+	}
+	return out
+}
+
+// GiniCoefficient summarises the skew of a frequency distribution in
+// [0, 1]: 0 is perfectly even, 1 maximally concentrated. Used by tests to
+// assert that the synthetic neuron process is more skewed than the expert
+// process, matching Figure 3(a).
+func GiniCoefficient(counts []int64) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	for i, c := range counts {
+		sorted[i] = float64(c)
+	}
+	sort.Float64s(sorted)
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += v
+		weighted += float64(i+1) * v
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// Entropy computes the Shannon entropy (nats) of the normalised counts.
+func Entropy(counts []int64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log(p)
+	}
+	return h
+}

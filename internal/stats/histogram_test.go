@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d, want 10", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Bin(i))
+		}
+	}
+	cdf := h.CDF()
+	if cdf[len(cdf)-1] != 1 {
+		t.Errorf("CDF should end at 1, got %v", cdf[len(cdf)-1])
+	}
+	if cdf[4] != 0.5 {
+		t.Errorf("CDF midpoint = %v, want 0.5", cdf[4])
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(17)
+	if h.Bin(0) != 1 || h.Bin(3) != 1 {
+		t.Fatalf("out-of-range values should clamp to edge bins: %v %v", h.Bin(0), h.Bin(3))
+	}
+	if h.Total() != 2 {
+		t.Fatalf("total = %d, want 2", h.Total())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("center(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("center(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic from invalid histogram construction")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramSparkline(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	if got := len([]rune(h.Sparkline())); got != 4 {
+		t.Fatalf("sparkline of empty histogram has %d runes, want 4", got)
+	}
+	h.Add(0.5)
+	h.Add(0.5)
+	h.Add(2.5)
+	line := []rune(h.Sparkline())
+	if line[0] <= line[2] {
+		t.Errorf("taller bin should use taller glyph: %q", string(line))
+	}
+}
+
+func TestFrequencyCDFUniformVsSkewed(t *testing.T) {
+	uniform := []int64{10, 10, 10, 10}
+	skewed := []int64{97, 1, 1, 1}
+	u := FrequencyCDF(uniform)
+	s := FrequencyCDF(skewed)
+	if u[0] != 0.25 {
+		t.Errorf("uniform first share = %v, want 0.25", u[0])
+	}
+	if s[0] != 0.97 {
+		t.Errorf("skewed first share = %v, want 0.97", s[0])
+	}
+	if u[3] != 1 || s[3] != 1 {
+		t.Errorf("CDFs must end at 1: %v %v", u[3], s[3])
+	}
+}
+
+func TestFrequencyCDFEmptyAndZero(t *testing.T) {
+	if got := FrequencyCDF(nil); len(got) != 0 {
+		t.Errorf("empty input should yield empty output, got %v", got)
+	}
+	got := FrequencyCDF([]int64{0, 0})
+	for _, v := range got {
+		if v != 0 {
+			t.Errorf("all-zero counts should yield zero shares, got %v", got)
+		}
+	}
+}
+
+// Property: FrequencyCDF is non-decreasing and bounded by [0,1].
+func TestFrequencyCDFMonotoneQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		counts := make([]int64, len(raw))
+		for i, v := range raw {
+			counts[i] = int64(v)
+		}
+		cdf := FrequencyCDF(counts)
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev-1e-12 || v < 0 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGiniCoefficient(t *testing.T) {
+	if g := GiniCoefficient([]int64{5, 5, 5, 5}); !almostEq(g, 0, 1e-12) {
+		t.Errorf("gini of even distribution = %v, want 0", g)
+	}
+	gSkew := GiniCoefficient([]int64{100, 0, 0, 0})
+	gEven := GiniCoefficient([]int64{30, 25, 25, 20})
+	if gSkew <= gEven {
+		t.Errorf("skewed gini %v should exceed even gini %v", gSkew, gEven)
+	}
+	if g := GiniCoefficient(nil); g != 0 {
+		t.Errorf("gini of empty = %v, want 0", g)
+	}
+	if g := GiniCoefficient([]int64{0, 0}); g != 0 {
+		t.Errorf("gini of zeros = %v, want 0", g)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over 4 outcomes: ln 4.
+	if got, want := Entropy([]int64{1, 1, 1, 1}), math.Log(4); !almostEq(got, want, 1e-12) {
+		t.Errorf("entropy = %v, want %v", got, want)
+	}
+	if got := Entropy([]int64{10, 0, 0}); !almostEq(got, 0, 1e-12) {
+		t.Errorf("degenerate entropy = %v, want 0", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("empty entropy = %v, want 0", got)
+	}
+}

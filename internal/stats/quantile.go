@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample collects observations for exact quantile queries. It is meant
+// for experiment-scale data (thousands of points), not unbounded streams.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddN records every value in xs.
+func (s *Sample) AddN(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics. It panics when the sample is
+// empty or q is out of range.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if len(s.xs) == 1 {
+		return s.xs[0]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median is shorthand for Quantile(0.5).
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean reports the arithmetic mean, or 0 when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Values returns a copy of the recorded observations in insertion order
+// when unsorted, or sorted order after a quantile query.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Summary holds the standard five-number summary plus mean, handy for
+// experiment tables.
+type Summary struct {
+	N                          int
+	Min, P25, Median, P75, Max float64
+	Mean                       float64
+}
+
+// Summarize computes a Summary of the sample. It panics on empty input.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      len(s.xs),
+		Min:    s.Quantile(0),
+		P25:    s.Quantile(0.25),
+		Median: s.Quantile(0.5),
+		P75:    s.Quantile(0.75),
+		Max:    s.Quantile(1),
+		Mean:   s.Mean(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g mean=%.4g",
+		s.N, s.Min, s.P25, s.Median, s.P75, s.Max, s.Mean)
+}

@@ -1,0 +1,168 @@
+package stats
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 seeded
+// xoshiro256**). Every stochastic component in the reproduction takes an
+// explicit *RNG so experiments are exactly repeatable and goroutine-local
+// generators need no locking.
+type RNG struct {
+	s [4]uint64
+	// Cached second normal variate from the Box-Muller transform.
+	gauss    float64
+	hasGauss bool
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 expansion of the seed into four lanes.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent child generator; streams from parent and
+// child do not overlap in practice. Used to give each layer/iteration its
+// own stream without coupling draw order across components.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample (Box-Muller).
+func (r *RNG) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v = r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.gauss = mag * math.Sin(2*math.Pi*v)
+	r.hasGauss = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// NormMeanStd returns a normal sample with the given mean and standard
+// deviation.
+func (r *RNG) NormMeanStd(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// Exp returns an exponential sample with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Zipf returns a sample in [0, n) from a Zipf-like distribution with
+// exponent s > 0. For repeated sampling at the same (n, s) prefer
+// NewZipf, which precomputes the inverse-CDF table once.
+func (r *RNG) Zipf(n int, s float64) int {
+	return NewZipf(n, s).Sample(r)
+}
+
+// Zipf samples from a fixed Zipf-like distribution over [0, n) with
+// exponent s via binary search on a precomputed CDF. It is used by the
+// neuron-sparsity reference process (highly skewed activations).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes the sampling table. It panics on non-positive n.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	z := &Zipf{cdf: make([]float64, n)}
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += 1 / math.Pow(float64(i), s)
+		z.cdf[i-1] = cum
+	}
+	total := z.cdf[n-1]
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z
+}
+
+// Sample draws one value in [0, n) using r.
+func (z *Zipf) Sample(r *RNG) int {
+	target := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,170 @@
+// Package workload synthesises the request streams the paper evaluates
+// on. The prefill study samples prompts "of different lengths from
+// multiple datasets, including MT Bench, Vicuna Bench and ChatGPT
+// Prompts"; this package models each dataset as a log-normal prompt
+// length distribution with parameters matched to the published corpus
+// statistics, bucketises samples into the paper's ≈32/128/512/1024
+// groups, and generates multi-turn serving sessions (prefill + decode)
+// for end-to-end studies beyond single measurements.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"hybrimoe/internal/stats"
+)
+
+// Dataset is a named prompt-length distribution.
+type Dataset struct {
+	Name string
+	// MeanLog and StdLog parameterise the log-normal length
+	// distribution (of the token count).
+	MeanLog float64
+	StdLog  float64
+	// MinTokens and MaxTokens clamp samples to the corpus range.
+	MinTokens int
+	MaxTokens int
+	// DecodeMeanTokens is the typical response length for sessions.
+	DecodeMeanTokens int
+}
+
+// MTBench models MT-Bench prompts: short-to-medium instructions,
+// median around 50-60 tokens with a tail of long multi-part questions.
+func MTBench() Dataset {
+	return Dataset{
+		Name:             "mt-bench",
+		MeanLog:          math.Log(55),
+		StdLog:           0.8,
+		MinTokens:        8,
+		MaxTokens:        1536,
+		DecodeMeanTokens: 200,
+	}
+}
+
+// VicunaBench models Vicuna-Bench prompts: short single questions,
+// median around 30-40 tokens.
+func VicunaBench() Dataset {
+	return Dataset{
+		Name:             "vicuna-bench",
+		MeanLog:          math.Log(35),
+		StdLog:           0.6,
+		MinTokens:        6,
+		MaxTokens:        512,
+		DecodeMeanTokens: 180,
+	}
+}
+
+// ChatGPTPrompts models the ChatGPT-Prompts dataset: persona-style
+// system prompts, longer on average with a heavy tail.
+func ChatGPTPrompts() Dataset {
+	return Dataset{
+		Name:             "chatgpt-prompts",
+		MeanLog:          math.Log(120),
+		StdLog:           0.9,
+		MinTokens:        16,
+		MaxTokens:        2048,
+		DecodeMeanTokens: 250,
+	}
+}
+
+// AllDatasets returns the three corpora the paper samples from.
+func AllDatasets() []Dataset {
+	return []Dataset{MTBench(), VicunaBench(), ChatGPTPrompts()}
+}
+
+// SampleLength draws one prompt length.
+func (d Dataset) SampleLength(rng *stats.RNG) int {
+	v := math.Exp(rng.NormMeanStd(d.MeanLog, d.StdLog))
+	n := int(v + 0.5)
+	if n < d.MinTokens {
+		n = d.MinTokens
+	}
+	if n > d.MaxTokens {
+		n = d.MaxTokens
+	}
+	return n
+}
+
+// PaperBuckets are the prompt-length groups of Figure 7 ("around 32,
+// 128, 512 and 1024 tokens").
+var PaperBuckets = []int{32, 128, 512, 1024}
+
+// Bucket assigns a prompt length to the nearest paper bucket (by log
+// distance, since the buckets are geometric).
+func Bucket(tokens int) int {
+	if tokens <= 0 {
+		panic(fmt.Sprintf("workload: non-positive length %d", tokens))
+	}
+	best := PaperBuckets[0]
+	bestDist := math.Abs(math.Log(float64(tokens)) - math.Log(float64(best)))
+	for _, b := range PaperBuckets[1:] {
+		d := math.Abs(math.Log(float64(tokens)) - math.Log(float64(b)))
+		if d < bestDist {
+			best, bestDist = b, d
+		}
+	}
+	return best
+}
+
+// SampleBucketed draws n prompts and returns how many landed in each
+// paper bucket, keyed by bucket size.
+func (d Dataset) SampleBucketed(rng *stats.RNG, n int) map[int]int {
+	out := make(map[int]int, len(PaperBuckets))
+	for i := 0; i < n; i++ {
+		out[Bucket(d.SampleLength(rng))]++
+	}
+	return out
+}
+
+// Request is one serving request: a prompt to prefill and a number of
+// tokens to decode.
+type Request struct {
+	ID           int
+	Dataset      string
+	PromptTokens int
+	DecodeTokens int
+}
+
+// Stream generates a deterministic request sequence mixing datasets.
+type Stream struct {
+	rng      *stats.RNG
+	datasets []Dataset
+	next     int
+}
+
+// NewStream returns a stream drawing uniformly from datasets. It panics
+// on an empty dataset list.
+func NewStream(seed uint64, datasets ...Dataset) *Stream {
+	if len(datasets) == 0 {
+		panic("workload: stream needs at least one dataset")
+	}
+	return &Stream{rng: stats.NewRNG(seed), datasets: datasets}
+}
+
+// Next draws the next request. Decode length is exponential around the
+// dataset's mean, clamped to at least 1 token.
+func (s *Stream) Next() Request {
+	d := s.datasets[s.rng.Intn(len(s.datasets))]
+	decode := int(s.rng.Exp(1/float64(d.DecodeMeanTokens)) + 0.5)
+	if decode < 1 {
+		decode = 1
+	}
+	r := Request{
+		ID:           s.next,
+		Dataset:      d.Name,
+		PromptTokens: d.SampleLength(s.rng),
+		DecodeTokens: decode,
+	}
+	s.next++
+	return r
+}
+
+// NextN draws n requests.
+func (s *Stream) NextN(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
