@@ -22,6 +22,7 @@ import (
 	"hybrimoe/internal/stats"
 	"hybrimoe/internal/tensor"
 	"hybrimoe/internal/trace"
+	"hybrimoe/internal/workload"
 )
 
 func benchParams() exp.Params {
@@ -104,7 +105,7 @@ func BenchmarkFig8Decode(b *testing.B) {
 
 func runPrefill(b *testing.B, fw engine.Framework, tokens int) float64 {
 	b.Helper()
-	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw, engine.Options{CacheRatio: 0.25, Seed: 1})
+	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw, engine.WithCacheRatio(0.25), engine.WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func runPrefill(b *testing.B, fw engine.Framework, tokens int) float64 {
 
 func runDecode(b *testing.B, fw engine.Framework, steps int) float64 {
 	b.Helper()
-	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw, engine.Options{CacheRatio: 0.25, Seed: 1})
+	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw, engine.WithCacheRatio(0.25), engine.WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -291,12 +292,39 @@ func BenchmarkQuantMatVec(b *testing.B) {
 
 func BenchmarkEngineDecodeStep(b *testing.B) {
 	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
-		engine.Options{CacheRatio: 0.25, Seed: 8})
+		engine.WithCacheRatio(0.25), engine.WithSeed(8))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.RunDecode(1)
+	}
+}
+
+// BenchmarkSessionServe times serving a 4-request mixed stream through
+// the streaming Session loop on the full HybriMoE stack.
+func BenchmarkSessionServe(b *testing.B) {
+	stream := workload.NewStream(9, workload.AllDatasets()...)
+	reqs := stream.NextN(4)
+	for i := range reqs {
+		if reqs[i].DecodeTokens > 4 {
+			reqs[i].DecodeTokens = 4
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Engine construction (and its cache warm-up) is setup, not the
+		// serving loop under test.
+		b.StopTimer()
+		e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+			engine.WithCacheRatio(0.25), engine.WithSeed(9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := e.NewSession(engine.WithMaxConcurrent(2))
+		s.Submit(reqs...)
+		b.StartTimer()
+		s.Run(nil)
 	}
 }

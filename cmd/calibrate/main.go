@@ -38,6 +38,6 @@ func main() {
 		fitted.Name, fitted.PeakFlops, fitted.MemBandwidth, fitted.WarmupPenalty)
 	fmt.Println("\nNote: the probe kernel is scalar Go; production INT4 kernels are")
 	fmt.Println("an order of magnitude faster. Experiments use the preset models so")
-	fmt.Println("results are machine-independent; pass the fitted model to")
-	fmt.Println("core.Config.Platform to simulate this host instead.")
+	fmt.Println("results are machine-independent; pass the fitted platform to")
+	fmt.Println("engine.New (or core.Config.Platform) to simulate this host instead.")
 }

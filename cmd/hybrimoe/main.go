@@ -6,6 +6,7 @@
 //	hybrimoe run <id> [flags]     # run one experiment (fig3a..fig9, table3, ...)
 //	hybrimoe all [flags]          # run every experiment
 //	hybrimoe demo [flags]         # one decode run with a Gantt timeline
+//	hybrimoe serve [flags]        # stream a mixed request workload through a Session
 //
 // Flags:
 //
@@ -20,8 +21,12 @@ import (
 	"os"
 
 	"hybrimoe/internal/core"
+	"hybrimoe/internal/engine"
 	"hybrimoe/internal/exp"
+	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
+	"hybrimoe/internal/report"
+	"hybrimoe/internal/workload"
 )
 
 func main() {
@@ -101,10 +106,76 @@ func run(args []string) error {
 		fmt.Print(sys.Gantt(100))
 		return nil
 
+	case "serve":
+		model := fs.String("model", "DeepSeek", "model name (DeepSeek, Mixtral, Qwen2)")
+		ratio := fs.Float64("cache", 0.25, "GPU expert cache ratio")
+		requests := fs.Int("requests", 8, "requests to draw from the workload stream")
+		concurrent := fs.Int("concurrent", 2, "requests served at once (phases interleave)")
+		decodeCap := fs.Int("decode-cap", 16, "cap on decode tokens per request")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		cfg, err := moe.ByName(*model)
+		if err != nil {
+			return err
+		}
+		return serve(cfg, *ratio, *seed, *requests, *concurrent, *decodeCap)
+
 	default:
 		usage()
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// serve streams a mixed-corpus request workload through the engine's
+// Session loop and reports TTFT/TBT percentiles from the step events.
+func serve(cfg *moe.Config, ratio float64, seed uint64, requests, concurrent, decodeCap int) error {
+	if requests < 1 {
+		return fmt.Errorf("-requests %d must be at least 1", requests)
+	}
+	if concurrent < 1 {
+		return fmt.Errorf("-concurrent %d must be at least 1", concurrent)
+	}
+	if decodeCap < 0 {
+		return fmt.Errorf("-decode-cap %d must be non-negative", decodeCap)
+	}
+	e, err := engine.New(cfg, hw.A6000Platform(), engine.HybriMoEFramework(),
+		engine.WithCacheRatio(ratio), engine.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	stream := workload.NewStream(seed, workload.AllDatasets()...)
+	reqs := stream.NextN(requests)
+	for i := range reqs {
+		if reqs[i].DecodeTokens > decodeCap {
+			reqs[i].DecodeTokens = decodeCap
+		}
+	}
+	s := e.NewSession(engine.WithMaxConcurrent(concurrent))
+	s.Submit(reqs...)
+
+	fmt.Printf("serving %d requests on %s (%.0f%% cache, ≤%d concurrent)\n\n",
+		len(reqs), cfg.Name, ratio*100, concurrent)
+	var ttfts, tbts []float64
+	s.Run(func(ev engine.StepEvent) {
+		switch ev.Phase {
+		case engine.PhasePrefill:
+			ttfts = append(ttfts, ev.Latency)
+			fmt.Printf("  t=%7.3fs req %2d prefill %4d tokens  TTFT %.4fs\n",
+				ev.End, ev.Request, ev.Tokens, ev.Latency)
+		case engine.PhaseDecode:
+			tbts = append(tbts, ev.Latency)
+			if ev.Done {
+				fmt.Printf("  t=%7.3fs req %2d done after %d decode steps\n",
+					ev.End, ev.Request, ev.Index+1)
+			}
+		}
+	})
+
+	fmt.Printf("\nsteps: %d   cache hit rate: %.1f%%\n", s.Steps(), 100*e.Cache().HitRate())
+	fmt.Printf("TTFT  %s\n", report.Latencies(ttfts))
+	fmt.Printf("TBT   %s\n", report.Latencies(tbts))
+	return nil
 }
 
 func params(seed uint64, steps int, quick bool) exp.Params {
@@ -121,5 +192,5 @@ func params(seed uint64, steps int, quick bool) exp.Params {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hybrimoe <list|run <id>|all|demo> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: hybrimoe <list|run <id>|all|demo|serve> [flags]`)
 }

@@ -1,7 +1,7 @@
-// Quickstart: build a HybriMoE system for DeepSeek-V2-Lite on the
-// A6000-class platform, decode 32 tokens, and print the paper's decode
-// metric (TBT) together with cache statistics and the execution
-// timeline.
+// Quickstart: build a HybriMoE engine for DeepSeek-V2-Lite on the
+// A6000-class platform with the functional-options API, decode 32
+// tokens, and print the paper's decode metric (TBT) together with cache
+// statistics and the execution timeline.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -10,25 +10,23 @@ import (
 	"fmt"
 	"log"
 
-	"hybrimoe/internal/core"
+	"hybrimoe/internal/engine"
 	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
 )
 
 func main() {
-	sys, err := core.NewSystem(core.Config{
-		Model:       moe.DeepSeek(),
-		Platform:    hw.A6000Platform(),
-		CacheRatio:  0.25, // 25% of routed experts fit in GPU memory
-		Seed:        42,
-		RecordTrace: true,
-	})
+	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+		engine.WithCacheRatio(0.25), // 25% of routed experts fit in GPU memory
+		engine.WithSeed(42),
+		engine.WithTraceRecording(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	const steps = 32
-	res := sys.Decode(steps)
+	res := e.RunDecode(steps)
 
 	fmt.Printf("model           : %s\n", res.Model)
 	fmt.Printf("framework       : %s\n", res.Framework)
@@ -41,5 +39,5 @@ func main() {
 		res.Stats.DemandTransfers, res.Stats.PrefetchTransfers)
 
 	fmt.Println("\nexecution timeline (G=attention, L=experts, p=prefetch):")
-	fmt.Print(sys.Gantt(100))
+	fmt.Print(e.Gantt(100))
 }

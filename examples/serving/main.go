@@ -1,18 +1,25 @@
 // Serving example: an end-to-end session study beyond the paper's
 // per-stage metrics. A mixed request stream sampled from MT-Bench-,
 // Vicuna-Bench- and ChatGPT-Prompts-like length distributions is served
-// request after request (prefill, then a decode burst), with the expert
-// cache carrying state across requests — the deployment scenario the
-// paper's edge-offloading setting targets.
+// through the engine's streaming Session loop — prefill and decode
+// interleaved across concurrent requests, the expert cache carrying
+// state throughout — the deployment scenario the paper's edge-offloading
+// setting targets. TTFT and TBT percentiles are computed from the
+// per-step event stream.
 //
 // Run with: go run ./examples/serving
 package main
 
 import (
 	"fmt"
+	"log"
 	"os"
 
+	"hybrimoe/internal/engine"
 	"hybrimoe/internal/exp"
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/report"
 	"hybrimoe/internal/stats"
 	"hybrimoe/internal/workload"
 )
@@ -21,7 +28,8 @@ func main() {
 	// Show what the workload generator produces.
 	stream := workload.NewStream(42, workload.AllDatasets()...)
 	fmt.Println("sample of the request stream:")
-	for _, r := range stream.NextN(6) {
+	reqs := stream.NextN(8)
+	for _, r := range reqs {
 		fmt.Printf("  req %2d  %-16s prompt %4d tokens (bucket %4d), decode %3d tokens\n",
 			r.ID, r.Dataset, r.PromptTokens, workload.Bucket(r.PromptTokens), r.DecodeTokens)
 	}
@@ -38,7 +46,42 @@ func main() {
 		fmt.Println()
 	}
 
-	// End-to-end serving comparison across frameworks.
+	// Stream the sampled requests through a Session: two requests in
+	// flight, prefill and decode interleaving, per-step events out.
+	for i := range reqs {
+		if reqs[i].DecodeTokens > 12 {
+			reqs[i].DecodeTokens = 12 // keep the demo quick
+		}
+	}
+	e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+		engine.WithCacheRatio(0.25), engine.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := e.NewSession(engine.WithMaxConcurrent(2))
+	s.Submit(reqs...)
+
+	fmt.Println("\nstreaming session (HybriMoE, 25% cache, 2 concurrent requests):")
+	var ttfts, tbts []float64
+	s.Run(func(ev engine.StepEvent) {
+		switch ev.Phase {
+		case engine.PhasePrefill:
+			ttfts = append(ttfts, ev.Latency)
+			fmt.Printf("  t=%7.3fs  req %2d  prefill %4d tok  TTFT %.4fs  (%d hits / %d misses)\n",
+				ev.End, ev.Request, ev.Tokens, ev.Latency, ev.Hits, ev.Misses)
+		case engine.PhaseDecode:
+			tbts = append(tbts, ev.Latency)
+			if ev.Done {
+				fmt.Printf("  t=%7.3fs  req %2d  done after %d decode steps\n",
+					ev.End, ev.Request, ev.Index+1)
+			}
+		}
+	})
+	fmt.Printf("\n%d steps, cache hit rate %.1f%%\n", s.Steps(), 100*e.Cache().HitRate())
+	fmt.Printf("TTFT  %s\n", report.Latencies(ttfts))
+	fmt.Printf("TBT   %s\n", report.Latencies(tbts))
+
+	// End-to-end serving comparison across frameworks, with percentiles.
 	fmt.Println()
 	p := exp.DefaultParams()
 	p.DecodeSteps = 16 // decode burst cap per request

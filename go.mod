@@ -1,0 +1,3 @@
+module hybrimoe
+
+go 1.24

@@ -21,11 +21,8 @@ func TestTimelineSpansNeverOverlap(t *testing.T) {
 	for _, fw := range engine.AllFrameworks() {
 		fw := fw
 		t.Run(fw.Name, func(t *testing.T) {
-			e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw, engine.Options{
-				CacheRatio:  0.25,
-				Seed:        101,
-				RecordTrace: true,
-			})
+			e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw,
+				engine.WithCacheRatio(0.25), engine.WithSeed(101), engine.WithTraceRecording())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,9 +55,8 @@ func TestExpertComputationConservation(t *testing.T) {
 	const steps = 6
 	want := steps * cfg.Layers * cfg.ActivatedExperts
 	for _, fw := range engine.AllFrameworks() {
-		e, err := engine.New(cfg, hw.A6000Platform(), fw, engine.Options{
-			CacheRatio: 0.5, Seed: 102, ValidatePlans: true,
-		})
+		e, err := engine.New(cfg, hw.A6000Platform(), fw,
+			engine.WithCacheRatio(0.5), engine.WithSeed(102), engine.WithPlanValidation())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,12 +77,12 @@ func TestLatencyDominanceAcrossGrid(t *testing.T) {
 	for _, cfg := range moe.AllModels() {
 		for _, ratio := range []float64{0.25, 0.5, 0.75} {
 			hy, err := engine.New(cfg, hw.A6000Platform(), engine.HybriMoEFramework(),
-				engine.Options{CacheRatio: ratio, Seed: 103})
+				engine.WithCacheRatio(ratio), engine.WithSeed(103))
 			if err != nil {
 				t.Fatal(err)
 			}
 			kt, err := engine.New(cfg, hw.A6000Platform(), engine.KTransformersFramework(),
-				engine.Options{CacheRatio: ratio, Seed: 103})
+				engine.WithCacheRatio(ratio), engine.WithSeed(103))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -147,7 +143,7 @@ func TestTraceStatisticsFeedCacheWins(t *testing.T) {
 		// Mirror exp.CacheHitRate but with custom trace options.
 		measure := func(policyName string) float64 {
 			g := trace.New(cfg, opts)
-			pol, err := cache.ByName(policyName, cfg.ActivatedExperts)
+			pol, err := cache.NewPolicy(policyName, cfg.ActivatedExperts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -208,5 +204,58 @@ func TestTraceStatisticsFeedCacheWins(t *testing.T) {
 	// cacheable overall than i.i.d. activations at equal capacity.
 	if mrsS <= mrsW {
 		t.Fatalf("structured trace should be more cacheable: %.4f vs %.4f", mrsS, mrsW)
+	}
+}
+
+// TestSessionServesWorkloadStream drives a mixed workload stream
+// through the streaming Session API across every framework: prefill
+// and decode interleave under concurrency 2, each request finishes
+// with the right number of steps, and the event clock never runs
+// backwards.
+func TestSessionServesWorkloadStream(t *testing.T) {
+	stream := workload.NewStream(106, workload.AllDatasets()...)
+	reqs := stream.NextN(4)
+	for i := range reqs {
+		if reqs[i].DecodeTokens > 4 {
+			reqs[i].DecodeTokens = 4
+		}
+	}
+	for _, fw := range engine.AllFrameworks() {
+		fw := fw
+		t.Run(fw.Name, func(t *testing.T) {
+			e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), fw,
+				engine.WithCacheRatio(0.25), engine.WithSeed(106))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := e.NewSession(engine.WithMaxConcurrent(2))
+			s.Submit(reqs...)
+			decodes := map[int]int{}
+			ttft := map[int]float64{}
+			var prevEnd float64
+			s.Run(func(ev engine.StepEvent) {
+				if ev.Latency <= 0 || math.IsNaN(ev.Latency) {
+					t.Fatalf("bad latency in %+v", ev)
+				}
+				if ev.Start < prevEnd {
+					t.Fatalf("clock ran backwards: %+v before %v", ev, prevEnd)
+				}
+				prevEnd = ev.End
+				switch ev.Phase {
+				case engine.PhasePrefill:
+					ttft[ev.Request] = ev.Latency
+				case engine.PhaseDecode:
+					decodes[ev.Request]++
+				}
+			})
+			for _, r := range reqs {
+				if _, ok := ttft[r.ID]; !ok {
+					t.Fatalf("request %d never prefilled", r.ID)
+				}
+				if decodes[r.ID] != r.DecodeTokens {
+					t.Fatalf("request %d decoded %d/%d steps", r.ID, decodes[r.ID], r.DecodeTokens)
+				}
+			}
+		})
 	}
 }

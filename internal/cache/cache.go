@@ -22,11 +22,12 @@ type Cache struct {
 	misses int64
 }
 
-// New returns an empty cache. Panics on non-positive capacity or nil
-// policy.
+// New returns an empty cache. Capacity 0 is a valid degenerate cache
+// (every lookup misses, every insert fails) — the zero-cache baseline.
+// Panics on negative capacity or nil policy.
 func New(capacity int, policy Policy) *Cache {
-	if capacity <= 0 {
-		panic(fmt.Sprintf("cache: capacity %d must be positive", capacity))
+	if capacity < 0 {
+		panic(fmt.Sprintf("cache: capacity %d must be non-negative", capacity))
 	}
 	if policy == nil {
 		panic("cache: nil policy")

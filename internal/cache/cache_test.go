@@ -14,10 +14,10 @@ func TestNewPanics(t *testing.T) {
 	func() {
 		defer func() {
 			if recover() == nil {
-				t.Error("zero capacity should panic")
+				t.Error("negative capacity should panic")
 			}
 		}()
-		New(0, NewLRU())
+		New(-1, NewLRU())
 	}()
 	func() {
 		defer func() {
@@ -27,6 +27,27 @@ func TestNewPanics(t *testing.T) {
 		}()
 		New(4, nil)
 	}()
+}
+
+// TestZeroCapacityCache pins the degenerate zero-cache baseline: every
+// lookup misses and every insert fails, without panicking.
+func TestZeroCapacityCache(t *testing.T) {
+	c := New(0, NewLRU())
+	if c.Lookup(id(0, 1)) {
+		t.Fatal("zero-capacity cache cannot hit")
+	}
+	if _, ok := c.Insert(id(0, 1), nil); ok {
+		t.Fatal("zero-capacity cache cannot admit")
+	}
+	if c.Pin(id(0, 1)) {
+		t.Fatal("zero-capacity cache cannot pin")
+	}
+	if n := c.Warm([]moe.ExpertID{id(0, 1), id(0, 2)}); n != 0 {
+		t.Fatalf("zero-capacity cache warmed %d experts", n)
+	}
+	if c.HitRate() != 0 {
+		t.Fatalf("hit rate %v, want 0", c.HitRate())
+	}
 }
 
 func TestInsertAndLookup(t *testing.T) {

@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"hybrimoe/internal/moe"
 )
@@ -143,17 +144,57 @@ var (
 	_ Policy = (*LFU)(nil)
 )
 
-// ByName constructs a policy from its experiment-table name. k is the
-// model's activation count, used to size MRS's top-p.
-func ByName(name string, k int) (Policy, error) {
-	switch name {
-	case "LRU":
-		return NewLRU(), nil
-	case "LFU":
-		return NewLFU(), nil
-	case "MRS":
-		return NewMRS(DefaultAlpha, 2*k), nil
-	default:
-		return nil, fmt.Errorf("cache: unknown policy %q (have LRU, LFU, MRS)", name)
+// Factory builds one policy instance. k is the model's per-token
+// activation count, which score-aware policies use to size their
+// accumulation windows (MRS takes top-p = 2k); others ignore it.
+type Factory func(k int) Policy
+
+var registry = map[string]Factory{}
+
+// Register makes a policy constructible by name through NewPolicy.
+// Registering a duplicate name or a nil factory panics: both are
+// programming errors in plugin wiring, caught at init time.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("cache: Register with empty name")
 	}
+	if f == nil {
+		panic(fmt.Sprintf("cache: Register(%q) with nil factory", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("cache: Register(%q) called twice", name))
+	}
+	registry[name] = f
+}
+
+// NewPolicy builds the named replacement policy, or returns a
+// descriptive error for an unknown name. k is the model's activation
+// count (see Factory).
+func NewPolicy(name string, k int) (Policy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cache: unknown policy %q (have %v)", name, Names())
+	}
+	return f(k), nil
+}
+
+// Names lists the registered policies in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName is a compatibility shim for the pre-registry API.
+//
+// Deprecated: use NewPolicy.
+func ByName(name string, k int) (Policy, error) { return NewPolicy(name, k) }
+
+func init() {
+	Register("LRU", func(int) Policy { return NewLRU() })
+	Register("LFU", func(int) Policy { return NewLFU() })
+	Register("MRS", func(k int) Policy { return NewMRS(DefaultAlpha, 2*k) })
 }

@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPolicyRegistryRoundTripsBuiltins(t *testing.T) {
+	for _, name := range []string{"LRU", "LFU", "MRS"} {
+		p, err := NewPolicy(name, 6)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v, want at least the builtins", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestPolicyRegistryUnknownName(t *testing.T) {
+	_, err := NewPolicy("FIFO", 6)
+	if err == nil {
+		t.Fatal("unknown policy should error")
+	}
+	if !strings.Contains(err.Error(), "FIFO") || !strings.Contains(err.Error(), "MRS") {
+		t.Fatalf("error %q should name the unknown policy and the registered ones", err)
+	}
+}
+
+func TestPolicyRegisterDuplicatePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"duplicate":   func() { Register("LRU", func(int) Policy { return NewLRU() }) },
+		"empty name":  func() { Register("", func(int) Policy { return NewLRU() }) },
+		"nil factory": func() { Register("nil-factory", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s Register should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPolicyRegisterThirdParty(t *testing.T) {
+	Register("test-always-first", func(int) Policy { return NewLRU() })
+	p, err := NewPolicy("test-always-first", 4)
+	if err != nil || p == nil {
+		t.Fatalf("third-party policy: %v, %v", p, err)
+	}
+}

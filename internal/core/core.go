@@ -65,11 +65,16 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Framework != nil {
 		fw = *cfg.Framework
 	}
-	eng, err := engine.New(cfg.Model, cfg.Platform, fw, engine.Options{
-		CacheRatio:  cfg.CacheRatio,
-		Seed:        cfg.Seed,
-		RecordTrace: cfg.RecordTrace,
-	})
+	opts := []engine.Option{engine.WithSeed(cfg.Seed)}
+	if cfg.CacheRatio != 0 {
+		// The facade keeps its documented "0.25 when 0" convention; the
+		// engine's WithCacheRatio(0) means a literal zero-cache baseline.
+		opts = append(opts, engine.WithCacheRatio(cfg.CacheRatio))
+	}
+	if cfg.RecordTrace {
+		opts = append(opts, engine.WithTraceRecording())
+	}
+	eng, err := engine.New(cfg.Model, cfg.Platform, fw, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +84,13 @@ func NewSystem(cfg Config) (*System, error) {
 // Decode runs steps decode iterations and returns per-step latencies
 // (the paper's TBT metric).
 func (s *System) Decode(steps int) engine.Result { return s.eng.RunDecode(steps) }
+
+// Session starts a streaming serving loop on the system's engine: submit
+// workload requests and call Step (or Run) to interleave prefill and
+// decode with per-iteration events.
+func (s *System) Session(opts ...engine.SessionOption) *engine.Session {
+	return s.eng.NewSession(opts...)
+}
 
 // Prefill runs one prefill forward over tokens prompt tokens and
 // returns its latency (the paper's TTFT metric).

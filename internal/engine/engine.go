@@ -13,44 +13,12 @@ import (
 	"hybrimoe/internal/trace"
 )
 
-// Options configures an engine run.
-type Options struct {
-	// CacheRatio is the GPU expert cache ratio (0.25, 0.50, 0.75 in the
-	// paper).
-	CacheRatio float64
-	// Context is the KV context length assumed for decode attention
-	// cost (512 when 0).
-	Context int
-	// Seed drives the synthetic routing trace.
-	Seed uint64
-	// WarmupIters is the number of historical iterations used to
-	// frequency-warm the cache before measurement (32 when 0).
-	WarmupIters int
-	// RecordTrace keeps per-resource span timelines for Gantt output.
-	RecordTrace bool
-	// ValidatePlans runs sched.Plan.Validate on every layer plan
-	// (tests; expensive).
-	ValidatePlans bool
-}
-
-func (o *Options) fillDefaults() {
-	if o.Context == 0 {
-		o.Context = 512
-	}
-	if o.WarmupIters == 0 {
-		o.WarmupIters = 32
-	}
-	if o.CacheRatio <= 0 {
-		o.CacheRatio = 0.25
-	}
-}
-
 // Engine simulates one framework serving one model on one platform.
 type Engine struct {
 	cfg      *moe.Config
 	platform *hw.Platform
 	fw       Framework
-	opts     Options
+	set      settings
 
 	gen   *trace.Generator
 	cache *cache.Cache
@@ -60,7 +28,7 @@ type Engine struct {
 	prefillSched sched.Scheduler
 	scheduler    sched.Scheduler
 	pref         prefetch.Prefetcher
-	gpuLayers    int // StaticSplit: leading layers resident on GPU
+	gpuLayers    int // LayerMapped: leading layers resident on GPU
 
 	// Absolute resource occupancy (seconds since run start).
 	cpuBusy, gpuBusy, linkBusy float64
@@ -104,49 +72,76 @@ func (r Result) Mean() float64 {
 	return r.Total / float64(len(r.StepLatencies))
 }
 
-// New builds an engine. The cache is warm-started from historical
-// activation frequency (a separate trace seed), matching how the
-// compared frameworks place experts before serving.
-func New(cfg *moe.Config, platform *hw.Platform, fw Framework, opts Options) (*Engine, error) {
+// New builds an engine for the framework's named strategies, resolved
+// through the sched, prefetch and cache registries, configured by
+// functional options:
+//
+//	e, err := engine.New(cfg, platform, engine.HybriMoEFramework(),
+//		engine.WithCacheRatio(0.25),
+//		engine.WithSeed(42),
+//	)
+//
+// Unknown strategy names and out-of-range option values return errors.
+// The cache is warm-started from historical activation frequency (a
+// separate trace seed), matching how the compared frameworks place
+// experts before serving.
+func New(cfg *moe.Config, platform *hw.Platform, fw Framework, opts ...Option) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := platform.Validate(); err != nil {
 		return nil, err
 	}
-	opts.fillDefaults()
-
-	e := &Engine{cfg: cfg, platform: platform, fw: fw, opts: opts}
-	e.gen = trace.New(cfg, trace.DefaultOptions(opts.Seed))
-
-	e.gpuLayers = int(opts.CacheRatio * float64(cfg.Layers))
-	gpuLayer := func(l int) bool { return l < e.gpuLayers }
-	if fw.Sched == SchedSame {
-		return nil, fmt.Errorf("engine: Framework.Sched must name a strategy")
+	set := defaultSettings()
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("engine: nil Option")
+		}
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
 	}
+
+	e := &Engine{cfg: cfg, platform: platform, fw: fw, set: set}
+	e.gen = trace.New(cfg, trace.DefaultOptions(set.seed))
+
+	e.gpuLayers = int(set.cacheRatio * float64(cfg.Layers))
+	gpuLayer := func(l int) bool { return l < e.gpuLayers }
+	if fw.Sched == "" {
+		return nil, fmt.Errorf("engine: Framework.Sched must name a registered scheduler (have %v)", sched.Names())
+	}
+	env := sched.Config{GPULayer: gpuLayer}
 	var err error
-	if e.decodeSched, err = fw.buildScheduler(fw.Sched, gpuLayer); err != nil {
+	if e.decodeSched, err = sched.New(fw.Sched, env); err != nil {
 		return nil, err
 	}
-	prefillKind := fw.PrefillSched
-	if prefillKind == SchedSame {
-		prefillKind = fw.Sched
+	prefillName := fw.PrefillSched
+	if prefillName == "" {
+		prefillName = fw.Sched
 	}
-	if e.prefillSched, err = fw.buildScheduler(prefillKind, gpuLayer); err != nil {
+	if e.prefillSched, err = sched.New(prefillName, env); err != nil {
 		return nil, err
 	}
 	e.scheduler = e.decodeSched
-	if e.pref, err = fw.buildPrefetcher(); err != nil {
-		return nil, err
+	if e.pref = set.prefetcher; e.pref == nil {
+		if e.pref, err = prefetch.New(fw.Prefetch); err != nil {
+			return nil, err
+		}
 	}
-	policy, err := fw.buildPolicy(cfg.ActivatedExperts)
+	policy, err := cache.NewPolicy(fw.CachePolicy, cfg.ActivatedExperts)
 	if err != nil {
 		return nil, err
 	}
-	e.cache = cache.New(cfg.CacheCapacity(opts.CacheRatio), policy)
+	capacity := cfg.CacheCapacity(set.cacheRatio)
+	if set.cacheRatio == 0 {
+		// The explicit zero-cache baseline: CacheCapacity floors at one
+		// expert, but a requested ratio of exactly 0 means none.
+		capacity = 0
+	}
+	e.cache = cache.New(capacity, policy)
 	e.warmCache()
 
-	if opts.RecordTrace {
+	if set.recordTrace {
 		e.cpuTL = sim.NewTimeline("CPU")
 		e.gpuTL = sim.NewTimeline("GPU")
 		e.linkTL = sim.NewTimeline("PCIe")
@@ -159,15 +154,15 @@ func New(cfg *moe.Config, platform *hw.Platform, fw Framework, opts Options) (*E
 // activation frequency" the static frameworks use), and feeds the
 // observed routing scores to the cache policy so score-aware policies
 // start with meaningful priorities — the state a long-running server
-// would have. StaticSplit frameworks skip this: their residency is the
+// would have. Layer-mapped frameworks skip this: their residency is the
 // layer mapping.
 func (e *Engine) warmCache() {
-	if e.fw.Sched == SchedStaticSplit {
+	if e.fw.LayerMapped {
 		return
 	}
-	hist := e.gen.ForkHistory(e.opts.Seed ^ 0x5eedf00d)
+	hist := e.gen.ForkHistory(e.set.seed ^ 0x5eedf00d)
 	counts := make(map[moe.ExpertID]int)
-	for i := 0; i < e.opts.WarmupIters; i++ {
+	for i := 0; i < e.set.warmupIters; i++ {
 		hist.Advance()
 		for l := 0; l < e.cfg.Layers; l++ {
 			for _, x := range hist.Activated(l) {
@@ -212,7 +207,7 @@ func (e *Engine) warmCache() {
 
 // isCached reports residency for scheduling decisions.
 func (e *Engine) isCached(id moe.ExpertID) bool {
-	if e.fw.Sched == SchedStaticSplit {
+	if e.fw.LayerMapped {
 		return id.Layer < e.gpuLayers
 	}
 	return e.cache.Contains(id)
@@ -221,7 +216,7 @@ func (e *Engine) isCached(id moe.ExpertID) bool {
 // attentionDevice reports where a layer's attention + shared experts
 // run. Only llama.cpp's CPU layers run them on the CPU.
 func (e *Engine) attentionDevice(layer int) hw.Device {
-	if e.fw.Sched == SchedStaticSplit && layer >= e.gpuLayers {
+	if e.fw.LayerMapped && layer >= e.gpuLayers {
 		return hw.CPU
 	}
 	return hw.GPU
@@ -267,7 +262,7 @@ func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int) floa
 			LinkFree: maxF(0, e.linkBusy-layerStart),
 		}
 		plan := e.scheduler.Plan(tasks, e.platform, res)
-		if e.opts.ValidatePlans {
+		if e.set.validatePlans {
 			if err := plan.Validate(tasks, res); err != nil {
 				panic(fmt.Sprintf("engine: invalid plan at layer %d: %v", act.Layer, err))
 			}
@@ -415,55 +410,16 @@ func (e *Engine) reserveTL(tl *sim.Timeline, start, end float64, name string) {
 	tl.Reserve(start, end-start, name)
 }
 
-// RunDecode measures steps decode iterations and returns per-step TBT.
-func (e *Engine) RunDecode(steps int) Result {
-	if steps <= 0 {
-		panic(fmt.Sprintf("engine: non-positive decode steps %d", steps))
-	}
-	res := Result{Framework: e.fw.Name, Model: e.cfg.Name}
-	e.scheduler = e.decodeSched
-	for i := 0; i < steps; i++ {
-		acts := trace.DecodeStep(e.gen)
-		lat := e.runStep(acts, 1, e.opts.Context)
-		res.StepLatencies = append(res.StepLatencies, lat)
-		res.Total += lat
-	}
-	e.stats.CacheHitRate = e.cache.HitRate()
-	res.Stats = e.stats
-	return res
-}
-
-// RunPrefill measures a single prefill forward over the given prompt
-// length and returns its TTFT as the sole step latency.
-func (e *Engine) RunPrefill(tokens int) Result {
-	if tokens <= 0 {
-		panic(fmt.Sprintf("engine: non-positive prefill tokens %d", tokens))
-	}
-	res := Result{Framework: e.fw.Name, Model: e.cfg.Name}
-	e.scheduler = e.prefillSched
-	acts := trace.PrefillStep(e.gen, tokens)
-	lat := e.runStep(acts, tokens, tokens)
-	res.StepLatencies = []float64{lat}
-	res.Total = lat
-	e.stats.CacheHitRate = e.cache.HitRate()
-	res.Stats = e.stats
-	return res
-}
-
 // Cache exposes the expert cache for analysis.
 func (e *Engine) Cache() *cache.Cache { return e.cache }
 
-// SetPrefetcher swaps the prefetcher (ablation studies vary the
-// lookahead window). Call before the first Run*.
-func (e *Engine) SetPrefetcher(p prefetch.Prefetcher) { e.pref = p }
-
 // Timelines returns the recorded span timelines (nil without
-// RecordTrace).
+// WithTraceRecording).
 func (e *Engine) Timelines() (cpu, gpu, link *sim.Timeline) {
 	return e.cpuTL, e.gpuTL, e.linkTL
 }
 
-// Gantt renders the recorded timelines, or "" without RecordTrace.
+// Gantt renders the recorded timelines, or "" without WithTraceRecording.
 func (e *Engine) Gantt(width int) string {
 	if e.cpuTL == nil {
 		return ""

@@ -9,11 +9,8 @@ import (
 
 func newEngine(t *testing.T, cfg *moe.Config, fw Framework, ratio float64, seed uint64) *Engine {
 	t.Helper()
-	e, err := New(cfg, hw.A6000Platform(), fw, Options{
-		CacheRatio:    ratio,
-		Seed:          seed,
-		ValidatePlans: true,
-	})
+	e, err := New(cfg, hw.A6000Platform(), fw,
+		WithCacheRatio(ratio), WithSeed(seed), WithPlanValidation())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,28 +19,33 @@ func newEngine(t *testing.T, cfg *moe.Config, fw Framework, ratio float64, seed 
 
 func TestNewRejectsBadInputs(t *testing.T) {
 	bad := &moe.Config{Name: "bad"}
-	if _, err := New(bad, hw.A6000Platform(), HybriMoEFramework(), Options{}); err == nil {
+	if _, err := New(bad, hw.A6000Platform(), HybriMoEFramework()); err == nil {
 		t.Error("invalid config should error")
 	}
 	badPlat := hw.A6000Platform()
 	badPlat.CPU.PeakFlops = 0
-	if _, err := New(moe.DeepSeek(), badPlat, HybriMoEFramework(), Options{}); err == nil {
+	if _, err := New(moe.DeepSeek(), badPlat, HybriMoEFramework()); err == nil {
 		t.Error("invalid platform should error")
 	}
 	badFW := HybriMoEFramework()
 	badFW.Prefetch = "psychic"
-	if _, err := New(moe.DeepSeek(), hw.A6000Platform(), badFW, Options{}); err == nil {
+	if _, err := New(moe.DeepSeek(), hw.A6000Platform(), badFW); err == nil {
 		t.Error("unknown prefetcher should error")
 	}
 	badFW2 := HybriMoEFramework()
 	badFW2.CachePolicy = "FIFO"
-	if _, err := New(moe.DeepSeek(), hw.A6000Platform(), badFW2, Options{}); err == nil {
+	if _, err := New(moe.DeepSeek(), hw.A6000Platform(), badFW2); err == nil {
 		t.Error("unknown cache policy should error")
 	}
 	badFW3 := HybriMoEFramework()
-	badFW3.Sched = SchedKind(42)
-	if _, err := New(moe.DeepSeek(), hw.A6000Platform(), badFW3, Options{}); err == nil {
+	badFW3.Sched = "psychic-sched"
+	if _, err := New(moe.DeepSeek(), hw.A6000Platform(), badFW3); err == nil {
 		t.Error("unknown scheduler should error")
+	}
+	badFW4 := HybriMoEFramework()
+	badFW4.Sched = ""
+	if _, err := New(moe.DeepSeek(), hw.A6000Platform(), badFW4); err == nil {
+		t.Error("empty scheduler name should error")
 	}
 }
 
@@ -204,11 +206,8 @@ func TestPrefetcherActuallyPrefetches(t *testing.T) {
 }
 
 func TestRecordTraceGantt(t *testing.T) {
-	e, err := New(moe.DeepSeek(), hw.A6000Platform(), HybriMoEFramework(), Options{
-		CacheRatio:  0.5,
-		Seed:        80,
-		RecordTrace: true,
-	})
+	e, err := New(moe.DeepSeek(), hw.A6000Platform(), HybriMoEFramework(),
+		WithCacheRatio(0.5), WithSeed(80), WithTraceRecording())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,52 +3,30 @@
 // through a pluggable scheduler, an expert cache with a pluggable
 // replacement policy, and inter-layer prefetching in PCIe idle time. It
 // measures the paper's two metrics — TTFT for prefill and TBT for
-// decode — for the four compared frameworks.
+// decode — for the four compared frameworks, and serves request streams
+// through the Session streaming loop.
 package engine
 
-import (
-	"fmt"
-
-	"hybrimoe/internal/cache"
-	"hybrimoe/internal/prefetch"
-	"hybrimoe/internal/sched"
-)
-
-// SchedKind selects the intra-layer scheduling strategy.
-type SchedKind int
-
-// Scheduling strategies.
-const (
-	// SchedSame (zero value) is only valid as a Framework.PrefillSched,
-	// meaning "use the decode scheduler for prefill too".
-	SchedSame SchedKind = iota
-	// SchedHybri is the paper's dynamic hybrid scheduler.
-	SchedHybri
-	// SchedKTrans is the static cached→GPU / uncached→CPU mapping.
-	SchedKTrans
-	// SchedGPUCentric computes everything on the GPU with on-demand
-	// loads.
-	SchedGPUCentric
-	// SchedStaticSplit maps whole layers to a device (llama.cpp -ngl).
-	SchedStaticSplit
-)
-
 // Framework bundles the policy choices that define one of the compared
-// systems.
+// systems. Every strategy is named, resolved through the sched, prefetch
+// and cache plugin registries at engine construction, so a framework
+// description is pure data: third-party strategies drop in by calling
+// the relevant Register and naming themselves here.
 type Framework struct {
 	Name string
-	// Sched picks the intra-layer scheduling strategy (decode, and
-	// prefill unless PrefillSched overrides it).
-	Sched SchedKind
-	// PrefillSched, when not SchedSame, picks a different strategy for
-	// the prefill stage. kTransformers uses CPU expert computation only
-	// at decode (paper Table I) and falls back to on-demand GPU loading
-	// for prefill.
-	PrefillSched SchedKind
+	// Sched names the intra-layer scheduling strategy in the sched
+	// registry (decode, and prefill unless PrefillSched overrides it).
+	Sched string
+	// PrefillSched, when non-empty, names a different strategy for the
+	// prefill stage. kTransformers uses CPU expert computation only at
+	// decode (paper Table I) and falls back to on-demand GPU loading for
+	// prefill.
+	PrefillSched string
 	// Prefetch names the prefetcher: "none", "next-layer-topk" or
-	// "impact-driven".
+	// "impact-driven" among the built-ins.
 	Prefetch string
-	// CachePolicy names the replacement policy: "LRU", "LFU" or "MRS".
+	// CachePolicy names the replacement policy: "LRU", "LFU" or "MRS"
+	// among the built-ins.
 	CachePolicy string
 	// OnMissInsert enables background insertion of missed experts into
 	// the cache using idle PCIe time (how static-scheduler frameworks
@@ -57,14 +35,27 @@ type Framework struct {
 	// PinWarm pins the warm-started experts permanently, modelling a
 	// truly static frequency-based placement.
 	PinWarm bool
+	// LayerMapped marks frameworks whose expert residency is a static
+	// whole-layer mapping (llama.cpp -ngl): the leading layers live
+	// wholly on the GPU, the expert cache and its warm-up are bypassed,
+	// and CPU layers run attention on the CPU too.
+	LayerMapped bool
 }
+
+// Built-in scheduler registry names.
+const (
+	SchedHybriMoE     = "hybrimoe"
+	SchedKTransStatic = "ktrans-static"
+	SchedGPUCentric   = "gpu-centric"
+	SchedStaticSplit  = "static-split"
+)
 
 // HybriMoEFramework is the paper's full system: dynamic hybrid
 // scheduling, impact-driven prefetching, MRS caching.
 func HybriMoEFramework() Framework {
 	return Framework{
 		Name:        "HybriMoE",
-		Sched:       SchedHybri,
+		Sched:       SchedHybriMoE,
 		Prefetch:    "impact-driven",
 		CachePolicy: "MRS",
 	}
@@ -77,7 +68,7 @@ func HybriMoEFramework() Framework {
 func KTransformersFramework() Framework {
 	return Framework{
 		Name:         "KTransformers",
-		Sched:        SchedKTrans,
+		Sched:        SchedKTransStatic,
 		PrefillSched: SchedGPUCentric,
 		Prefetch:     "none",
 		CachePolicy:  "LFU",
@@ -106,6 +97,7 @@ func LlamaCppFramework() Framework {
 		Prefetch:    "none",
 		CachePolicy: "LRU",
 		PinWarm:     true,
+		LayerMapped: true,
 	}
 }
 
@@ -136,8 +128,8 @@ func AblationFrameworks() []Framework {
 
 	schedOnly := base
 	schedOnly.Name = "Baseline+Scheduling"
-	schedOnly.Sched = SchedHybri
-	schedOnly.PrefillSched = SchedSame
+	schedOnly.Sched = SchedHybriMoE
+	schedOnly.PrefillSched = ""
 	schedOnly.PinWarm = false
 
 	prefOnly := base
@@ -155,31 +147,4 @@ func AblationFrameworks() []Framework {
 	all.Name = "All"
 
 	return []Framework{base, schedOnly, prefOnly, cacheOnly, all}
-}
-
-func (f Framework) buildScheduler(kind SchedKind, gpuLayer func(int) bool) (sched.Scheduler, error) {
-	switch kind {
-	case SchedHybri:
-		return sched.NewHybriMoE(), nil
-	case SchedKTrans:
-		return sched.NewKTransStatic(), nil
-	case SchedGPUCentric:
-		return sched.NewGPUCentric(), nil
-	case SchedStaticSplit:
-		return sched.NewStaticSplit(gpuLayer), nil
-	default:
-		return nil, fmt.Errorf("engine: unknown scheduler kind %d", kind)
-	}
-}
-
-func (f Framework) buildPrefetcher() (prefetch.Prefetcher, error) {
-	p, ok := prefetch.ByName(f.Prefetch)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown prefetcher %q", f.Prefetch)
-	}
-	return p, nil
-}
-
-func (f Framework) buildPolicy(k int) (cache.Policy, error) {
-	return cache.ByName(f.CachePolicy, k)
 }

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"hybrimoe/internal/prefetch"
+)
+
+// Option configures an engine at construction. Options validate their
+// arguments eagerly: New reports the first invalid option instead of
+// silently substituting defaults.
+type Option func(*settings) error
+
+// settings collects the resolved construction parameters. Defaults are
+// applied up front and only an option overwrites them, so an explicit
+// zero cache ratio is a real baseline, never mistaken for "unset".
+type settings struct {
+	cacheRatio    float64
+	context       int
+	seed          uint64
+	warmupIters   int
+	recordTrace   bool
+	validatePlans bool
+	prefetcher    prefetch.Prefetcher
+}
+
+func defaultSettings() settings {
+	return settings{
+		cacheRatio:  0.25,
+		context:     512,
+		warmupIters: 32,
+	}
+}
+
+// WithCacheRatio sets the GPU expert cache ratio (0.25, 0.50, 0.75 in
+// the paper; 0.25 when unset). An explicit 0 is honoured as the
+// zero-cache baseline; ratios outside [0, 1] are rejected.
+func WithCacheRatio(ratio float64) Option {
+	return func(s *settings) error {
+		if math.IsNaN(ratio) || ratio < 0 || ratio > 1 {
+			return fmt.Errorf("engine: cache ratio %v outside [0, 1]", ratio)
+		}
+		s.cacheRatio = ratio
+		return nil
+	}
+}
+
+// WithContext sets the KV context length assumed for decode attention
+// cost (512 when unset). Decode-only runs use it directly; Session
+// requests grow their context from the prompt instead.
+func WithContext(tokens int) Option {
+	return func(s *settings) error {
+		if tokens <= 0 {
+			return fmt.Errorf("engine: context length %d must be positive", tokens)
+		}
+		s.context = tokens
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving the synthetic routing trace
+// (deterministic runs).
+func WithSeed(seed uint64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithWarmupIters sets the number of historical iterations used to
+// frequency-warm the cache before measurement (32 when unset). An
+// explicit 0 disables warm-up; negative counts are rejected.
+func WithWarmupIters(iters int) Option {
+	return func(s *settings) error {
+		if iters < 0 {
+			return fmt.Errorf("engine: warmup iterations %d must be non-negative", iters)
+		}
+		s.warmupIters = iters
+		return nil
+	}
+}
+
+// WithTraceRecording keeps per-resource span timelines for Gantt output.
+func WithTraceRecording() Option {
+	return func(s *settings) error {
+		s.recordTrace = true
+		return nil
+	}
+}
+
+// WithPlanValidation runs sched.Plan.Validate on every layer plan
+// (tests; expensive).
+func WithPlanValidation() Option {
+	return func(s *settings) error {
+		s.validatePlans = true
+		return nil
+	}
+}
+
+// WithPrefetcher overrides the framework's named prefetcher with a
+// concrete instance (ablation studies vary the lookahead window this
+// way).
+func WithPrefetcher(p prefetch.Prefetcher) Option {
+	return func(s *settings) error {
+		if p == nil {
+			return fmt.Errorf("engine: WithPrefetcher(nil)")
+		}
+		s.prefetcher = p
+		return nil
+	}
+}

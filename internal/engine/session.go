@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"fmt"
+
+	"hybrimoe/internal/trace"
+	"hybrimoe/internal/workload"
+)
+
+// Phase labels which serving stage a step event belongs to.
+type Phase int
+
+// Serving stages.
+const (
+	// PhasePrefill is the prompt forward; its latency is the request's
+	// TTFT.
+	PhasePrefill Phase = iota
+	// PhaseDecode is one token-generation iteration; its latency is one
+	// TBT observation.
+	PhaseDecode
+)
+
+// String returns the stage name experiment tables use.
+func (p Phase) String() string {
+	switch p {
+	case PhasePrefill:
+		return "prefill"
+	case PhaseDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// StepEvent reports one engine iteration of a Session run: which
+// request advanced, in which stage, what it cost, and what the cache
+// and devices did during it. Serving studies derive TTFT and TBT
+// percentiles from the event stream instead of per-run means.
+type StepEvent struct {
+	// Request is the workload request ID this step served.
+	Request int
+	// Phase is the serving stage of this step.
+	Phase Phase
+	// Index is 0 for prefill and the decode-step ordinal (0-based)
+	// within the request otherwise.
+	Index int
+	// Tokens is the number of tokens processed this step (the prompt
+	// length at prefill, 1 at decode).
+	Tokens int
+	// Latency is the simulated wall-clock cost of the step in seconds.
+	Latency float64
+	// Start and End are absolute simulation-clock bounds of the step.
+	Start, End float64
+	// Hits and Misses count expert-cache lookups during this step.
+	Hits, Misses int64
+	// CPUBusy, GPUBusy and LinkBusy report how far each resource's
+	// occupancy frontier advanced during this step (seconds).
+	CPUBusy, GPUBusy, LinkBusy float64
+	// Done marks the request's final step.
+	Done bool
+}
+
+// SessionOption configures a Session.
+type SessionOption func(*Session)
+
+// WithMaxConcurrent admits up to n requests at once; their prefill and
+// decode steps interleave round-robin, sharing the expert cache, the
+// way a continuously-batched server mixes phases. The default of 1
+// serves requests strictly in order. n < 1 panics.
+func WithMaxConcurrent(n int) SessionOption {
+	if n < 1 {
+		panic(fmt.Sprintf("engine: WithMaxConcurrent(%d) must be at least 1", n))
+	}
+	return func(s *Session) { s.maxConcurrent = n }
+}
+
+// sessionRequest tracks one admitted request's progress.
+type sessionRequest struct {
+	req       workload.Request
+	prefilled bool
+	decoded   int
+}
+
+func (r *sessionRequest) done() bool {
+	prefillDone := r.prefilled || r.req.PromptTokens <= 0
+	return prefillDone && r.decoded >= r.req.DecodeTokens
+}
+
+// Session is the streaming run loop: requests are submitted (up front
+// or while running), admitted up to the concurrency limit, and advanced
+// one engine iteration per Step call — a prefill forward or a single
+// decode step — with a StepEvent emitted for each. The expert cache,
+// trace generator and device clocks carry state across requests, the
+// state a long-running server would have.
+type Session struct {
+	e             *Engine
+	pending       []*sessionRequest
+	active        []*sessionRequest
+	rr            int // round-robin cursor over active
+	maxConcurrent int
+	steps         int
+}
+
+// NewSession starts a streaming run loop on the engine. An engine
+// should drive one session (or the Run* compatibility wrappers) at a
+// time; interleaving several corrupts none of the accounting but makes
+// the shared clock meaningless.
+func (e *Engine) NewSession(opts ...SessionOption) *Session {
+	s := &Session{e: e, maxConcurrent: 1}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Submit enqueues requests. It may be called before the first Step or
+// at any point during the run (a live request stream). A request with
+// PromptTokens <= 0 skips prefill (a decode-only burst); one with
+// DecodeTokens <= 0 stops after prefill.
+func (s *Session) Submit(reqs ...workload.Request) {
+	for _, r := range reqs {
+		s.pending = append(s.pending, &sessionRequest{req: r})
+	}
+}
+
+// Pending reports how many submitted requests have not yet finished.
+func (s *Session) Pending() int { return len(s.pending) + len(s.active) }
+
+// Steps reports how many step events the session has emitted.
+func (s *Session) Steps() int { return s.steps }
+
+// admit moves pending requests into the active set up to the
+// concurrency limit. Requests with no work at all (neither prompt nor
+// decode tokens) are dropped rather than granted a phantom step.
+func (s *Session) admit() {
+	for len(s.active) < s.maxConcurrent && len(s.pending) > 0 {
+		r := s.pending[0]
+		s.pending = s.pending[1:]
+		if r.done() {
+			continue
+		}
+		s.active = append(s.active, r)
+	}
+}
+
+// Step runs one engine iteration for the next runnable request and
+// returns its event. ok is false when every submitted request has
+// finished.
+func (s *Session) Step() (ev StepEvent, ok bool) {
+	s.admit()
+	if len(s.active) == 0 {
+		return StepEvent{}, false
+	}
+	if s.rr >= len(s.active) {
+		s.rr = 0
+	}
+	r := s.active[s.rr]
+
+	ev = StepEvent{Request: r.req.ID, Start: s.e.clock}
+	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
+	cpu0, gpu0, link0 := s.e.cpuBusy, s.e.gpuBusy, s.e.linkBusy
+
+	if !r.prefilled && r.req.PromptTokens > 0 {
+		ev.Phase = PhasePrefill
+		ev.Tokens = r.req.PromptTokens
+		s.e.scheduler = s.e.prefillSched
+		acts := trace.PrefillStep(s.e.gen, r.req.PromptTokens)
+		ev.Latency = s.e.runStep(acts, r.req.PromptTokens, r.req.PromptTokens)
+		r.prefilled = true
+	} else {
+		ev.Phase = PhaseDecode
+		ev.Index = r.decoded
+		ev.Tokens = 1
+		s.e.scheduler = s.e.decodeSched
+		acts := trace.DecodeStep(s.e.gen)
+		ev.Latency = s.e.runStep(acts, 1, s.contextFor(r))
+		r.decoded++
+	}
+
+	ev.End = s.e.clock
+	ev.Hits = s.e.cache.Hits() - hits0
+	ev.Misses = s.e.cache.Misses() - misses0
+	ev.CPUBusy = maxF(0, s.e.cpuBusy-cpu0)
+	ev.GPUBusy = maxF(0, s.e.gpuBusy-gpu0)
+	ev.LinkBusy = maxF(0, s.e.linkBusy-link0)
+	ev.Done = r.done()
+	s.steps++
+	s.e.stats.CacheHitRate = s.e.cache.HitRate()
+
+	if ev.Done {
+		s.active = append(s.active[:s.rr], s.active[s.rr+1:]...)
+		// rr now points at the next request; wrap handled on next Step.
+	} else {
+		s.rr++
+	}
+	return ev, true
+}
+
+// contextFor reports the KV context length for a request's next decode
+// step: the prompt plus tokens generated so far, or the engine's
+// configured default for decode-only bursts (the Run* wrappers).
+func (s *Session) contextFor(r *sessionRequest) int {
+	if r.req.PromptTokens <= 0 {
+		return s.e.set.context
+	}
+	return r.req.PromptTokens + r.decoded
+}
+
+// Run drains the session, invoking handler (when non-nil) on every
+// event, and returns the number of steps executed.
+func (s *Session) Run(handler func(StepEvent)) int {
+	n := 0
+	for {
+		ev, ok := s.Step()
+		if !ok {
+			return n
+		}
+		if handler != nil {
+			handler(ev)
+		}
+		n++
+	}
+}
+
+// RunDecode measures steps decode iterations and returns per-step TBT.
+// It is a compatibility wrapper over a decode-only Session burst at the
+// engine's configured KV context.
+func (e *Engine) RunDecode(steps int) Result {
+	if steps <= 0 {
+		panic(fmt.Sprintf("engine: non-positive decode steps %d", steps))
+	}
+	s := e.NewSession()
+	s.Submit(workload.Request{DecodeTokens: steps})
+	res := Result{Framework: e.fw.Name, Model: e.cfg.Name}
+	s.Run(func(ev StepEvent) {
+		res.StepLatencies = append(res.StepLatencies, ev.Latency)
+		res.Total += ev.Latency
+	})
+	res.Stats = e.stats
+	return res
+}
+
+// RunPrefill measures a single prefill forward over the given prompt
+// length and returns its TTFT as the sole step latency. It is a
+// compatibility wrapper over a prefill-only Session request.
+func (e *Engine) RunPrefill(tokens int) Result {
+	if tokens <= 0 {
+		panic(fmt.Sprintf("engine: non-positive prefill tokens %d", tokens))
+	}
+	s := e.NewSession()
+	s.Submit(workload.Request{PromptTokens: tokens})
+	res := Result{Framework: e.fw.Name, Model: e.cfg.Name}
+	s.Run(func(ev StepEvent) {
+		res.StepLatencies = append(res.StepLatencies, ev.Latency)
+		res.Total += ev.Latency
+	})
+	res.Stats = e.stats
+	return res
+}

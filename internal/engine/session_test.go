@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"testing"
+
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/workload"
+)
+
+func testRequests() []workload.Request {
+	return []workload.Request{
+		{ID: 0, PromptTokens: 32, DecodeTokens: 4},
+		{ID: 1, PromptTokens: 64, DecodeTokens: 2},
+		{ID: 2, PromptTokens: 16, DecodeTokens: 3},
+	}
+}
+
+func TestSessionEventStream(t *testing.T) {
+	e := newEngine(t, moe.DeepSeek(), HybriMoEFramework(), 0.25, 200)
+	s := e.NewSession()
+	reqs := testRequests()
+	s.Submit(reqs...)
+
+	prefills := map[int]int{}
+	decodes := map[int]int{}
+	var prevEnd float64
+	var events int
+	for {
+		ev, ok := s.Step()
+		if !ok {
+			break
+		}
+		events++
+		if ev.Latency <= 0 {
+			t.Fatalf("non-positive step latency: %+v", ev)
+		}
+		if ev.End < ev.Start || ev.Start < prevEnd {
+			t.Fatalf("event clock not monotonic: %+v after end %v", ev, prevEnd)
+		}
+		prevEnd = ev.End
+		if ev.Hits+ev.Misses == 0 {
+			t.Fatalf("step saw no cache lookups: %+v", ev)
+		}
+		switch ev.Phase {
+		case PhasePrefill:
+			prefills[ev.Request]++
+			if ev.Tokens != reqs[ev.Request].PromptTokens {
+				t.Fatalf("prefill tokens %d for request %d", ev.Tokens, ev.Request)
+			}
+		case PhaseDecode:
+			decodes[ev.Request]++
+			if ev.Tokens != 1 {
+				t.Fatalf("decode step tokens = %d", ev.Tokens)
+			}
+		}
+	}
+	for _, r := range reqs {
+		if prefills[r.ID] != 1 {
+			t.Fatalf("request %d prefilled %d times", r.ID, prefills[r.ID])
+		}
+		if decodes[r.ID] != r.DecodeTokens {
+			t.Fatalf("request %d decoded %d steps, want %d", r.ID, decodes[r.ID], r.DecodeTokens)
+		}
+	}
+	wantEvents := 0
+	for _, r := range reqs {
+		wantEvents += 1 + r.DecodeTokens
+	}
+	if events != wantEvents || s.Steps() != wantEvents {
+		t.Fatalf("events = %d (Steps %d), want %d", events, s.Steps(), wantEvents)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d requests still pending after drain", s.Pending())
+	}
+	if _, ok := s.Step(); ok {
+		t.Fatal("drained session must keep reporting done")
+	}
+}
+
+// TestSessionInterleavesPhases checks the streaming property the old
+// RunPrefill/RunDecode split could not express: with concurrency > 1,
+// one request's decode steps interleave with another's prefill.
+func TestSessionInterleavesPhases(t *testing.T) {
+	e := newEngine(t, moe.DeepSeek(), HybriMoEFramework(), 0.25, 201)
+	s := e.NewSession(WithMaxConcurrent(2))
+	s.Submit(workload.Request{ID: 0, PromptTokens: 32, DecodeTokens: 4},
+		workload.Request{ID: 1, PromptTokens: 32, DecodeTokens: 4})
+
+	var order []StepEvent
+	s.Run(func(ev StepEvent) { order = append(order, ev) })
+
+	// Request 1's prefill must appear between request 0's decode steps,
+	// not after all of them.
+	var firstDecode0, prefill1 = -1, -1
+	for i, ev := range order {
+		if ev.Request == 0 && ev.Phase == PhaseDecode && firstDecode0 < 0 {
+			firstDecode0 = i
+		}
+		if ev.Request == 1 && ev.Phase == PhasePrefill {
+			prefill1 = i
+		}
+	}
+	if firstDecode0 < 0 || prefill1 < 0 {
+		t.Fatalf("missing phases in event order: %+v", order)
+	}
+	if prefill1 > firstDecode0+1 {
+		t.Fatalf("request 1 prefill at %d did not interleave with request 0 decode at %d", prefill1, firstDecode0)
+	}
+	// Done fires exactly once per request, on its last event.
+	doneSeen := map[int]bool{}
+	for _, ev := range order {
+		if ev.Done {
+			if doneSeen[ev.Request] {
+				t.Fatalf("request %d done twice", ev.Request)
+			}
+			doneSeen[ev.Request] = true
+		}
+	}
+	if len(doneSeen) != 2 {
+		t.Fatalf("done events for %d requests, want 2", len(doneSeen))
+	}
+}
+
+// TestSessionDropsNoOpRequests pins the degenerate Submit contract: a
+// request with neither prompt nor decode tokens produces no step at
+// all, rather than a phantom decode iteration.
+func TestSessionDropsNoOpRequests(t *testing.T) {
+	e := newEngine(t, moe.DeepSeek(), HybriMoEFramework(), 0.25, 205)
+	s := e.NewSession()
+	s.Submit(workload.Request{ID: 0},
+		workload.Request{ID: 1, PromptTokens: 16, DecodeTokens: 1})
+	var events []StepEvent
+	s.Run(func(ev StepEvent) { events = append(events, ev) })
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (no-op request must emit none): %+v", len(events), events)
+	}
+	for _, ev := range events {
+		if ev.Request != 1 {
+			t.Fatalf("no-op request 0 produced event %+v", ev)
+		}
+	}
+}
+
+// TestSessionStreamingSubmit submits more work mid-run, the live
+// request stream case.
+func TestSessionStreamingSubmit(t *testing.T) {
+	e := newEngine(t, moe.DeepSeek(), HybriMoEFramework(), 0.25, 202)
+	s := e.NewSession()
+	s.Submit(workload.Request{ID: 0, PromptTokens: 16, DecodeTokens: 1})
+	if _, ok := s.Step(); !ok {
+		t.Fatal("first step should run")
+	}
+	s.Submit(workload.Request{ID: 1, PromptTokens: 16, DecodeTokens: 1})
+	n := s.Run(nil)
+	// Remaining: request 0 decode, request 1 prefill + decode.
+	if n != 3 {
+		t.Fatalf("drained %d steps after late submit, want 3", n)
+	}
+}
+
+// TestRunWrappersMatchSession pins the compatibility contract: the
+// RunDecode/RunPrefill wrappers are exactly a decode-only (resp.
+// prefill-only) session drive.
+func TestRunWrappersMatchSession(t *testing.T) {
+	mk := func() *Engine { return newEngine(t, moe.DeepSeek(), HybriMoEFramework(), 0.25, 203) }
+
+	viaWrapper := mk().RunDecode(6)
+	s := mk().NewSession()
+	s.Submit(workload.Request{DecodeTokens: 6})
+	var viaSession []float64
+	s.Run(func(ev StepEvent) {
+		if ev.Phase != PhaseDecode {
+			t.Fatalf("decode-only burst emitted %v", ev.Phase)
+		}
+		viaSession = append(viaSession, ev.Latency)
+	})
+	if len(viaWrapper.StepLatencies) != len(viaSession) {
+		t.Fatalf("wrapper %d steps, session %d", len(viaWrapper.StepLatencies), len(viaSession))
+	}
+	for i := range viaSession {
+		if viaWrapper.StepLatencies[i] != viaSession[i] {
+			t.Fatalf("step %d: wrapper %v != session %v", i, viaWrapper.StepLatencies[i], viaSession[i])
+		}
+	}
+
+	pre := mk().RunPrefill(64)
+	s2 := mk().NewSession()
+	s2.Submit(workload.Request{PromptTokens: 64})
+	ev, ok := s2.Step()
+	if !ok || ev.Phase != PhasePrefill {
+		t.Fatalf("prefill-only request mis-phased: %+v ok=%v", ev, ok)
+	}
+	if pre.Total != ev.Latency {
+		t.Fatalf("wrapper TTFT %v != session TTFT %v", pre.Total, ev.Latency)
+	}
+	if _, ok := s2.Step(); ok {
+		t.Fatal("prefill-only request should finish in one step")
+	}
+}
+
+func TestSessionBusyAccounting(t *testing.T) {
+	e, err := New(moe.DeepSeek(), hw.A6000Platform(), HybriMoEFramework(),
+		WithCacheRatio(0.25), WithSeed(204), WithTraceRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	s.Submit(workload.Request{ID: 0, PromptTokens: 32, DecodeTokens: 3})
+	var gpuTotal float64
+	s.Run(func(ev StepEvent) {
+		if ev.GPUBusy < 0 || ev.CPUBusy < 0 || ev.LinkBusy < 0 {
+			t.Fatalf("negative busy delta: %+v", ev)
+		}
+		gpuTotal += ev.GPUBusy
+	})
+	if gpuTotal <= 0 {
+		t.Fatal("GPU never busy across a served request")
+	}
+}

@@ -88,13 +88,13 @@ func AblationLookahead(p Params) *report.Table {
 	cfg := moe.DeepSeek()
 	for _, window := range []int{0, 1, 3, 5} {
 		fw := engine.HybriMoEFramework()
+		var opts []engine.Option
 		if window == 0 {
 			fw.Prefetch = "none"
+		} else {
+			opts = append(opts, engine.WithPrefetcher(&prefetch.ImpactDriven{Window: window}))
 		}
-		e := mustEngine(cfg, platform, fw, 0.25, p.Seed)
-		if window > 0 {
-			e.SetPrefetcher(&prefetch.ImpactDriven{Window: window})
-		}
+		e := mustEngine(cfg, platform, fw, 0.25, p.Seed, opts...)
 		t.AddRow(window, e.RunDecode(p.DecodeSteps).Mean())
 	}
 	return t
@@ -130,11 +130,7 @@ func AblationCPUWarmup(p Params) *report.Table {
 		name     string
 		platform *hw.Platform
 	}{{"modelled", with}, {"ignored", without}} {
-		e, err := engine.New(cfg, c.platform, engine.HybriMoEFramework(),
-			engine.Options{CacheRatio: 0.25, Seed: p.Seed})
-		if err != nil {
-			panic(err)
-		}
+		e := mustEngine(cfg, c.platform, engine.HybriMoEFramework(), 0.25, p.Seed)
 		t.AddRow(c.name, e.RunDecode(p.DecodeSteps).Mean())
 	}
 	return t

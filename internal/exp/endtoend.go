@@ -23,11 +23,7 @@ func Fig7(p Params) *report.Table {
 			for _, length := range PrefillLengths {
 				lats := make(map[string]float64, 4)
 				for _, fw := range engine.AllFrameworks() {
-					e, err := engine.New(cfg, platform, fw, engine.Options{CacheRatio: ratio, Seed: p.Seed})
-					if err != nil {
-						panic(err)
-					}
-					lats[fw.Name] = e.RunPrefill(length).Total
+					lats[fw.Name] = mustEngine(cfg, platform, fw, ratio, p.Seed).RunPrefill(length).Total
 				}
 				t.AddRow(cfg.Name, pct(ratio), length,
 					lats["llama.cpp"], lats["AdapMoE"], lats["KTransformers"], lats["HybriMoE"],
@@ -67,11 +63,7 @@ func Fig8(p Params) *report.Table {
 		for _, ratio := range CacheRatios {
 			lats := make(map[string]float64, 4)
 			for _, fw := range engine.AllFrameworks() {
-				e, err := engine.New(cfg, platform, fw, engine.Options{CacheRatio: ratio, Seed: p.Seed})
-				if err != nil {
-					panic(err)
-				}
-				lats[fw.Name] = e.RunDecode(p.DecodeSteps).Mean()
+				lats[fw.Name] = mustEngine(cfg, platform, fw, ratio, p.Seed).RunDecode(p.DecodeSteps).Mean()
 			}
 			t.AddRow(cfg.Name, pct(ratio),
 				lats["llama.cpp"], lats["AdapMoE"], lats["KTransformers"], lats["HybriMoE"],
@@ -184,8 +176,9 @@ func CacheHitRate(cfg *moe.Config, policy cache.Policy, ratio float64, iters int
 	return c.HitRate()
 }
 
-func mustEngine(cfg *moe.Config, platform *hw.Platform, fw engine.Framework, ratio float64, seed uint64) *engine.Engine {
-	e, err := engine.New(cfg, platform, fw, engine.Options{CacheRatio: ratio, Seed: seed})
+func mustEngine(cfg *moe.Config, platform *hw.Platform, fw engine.Framework, ratio float64, seed uint64, opts ...engine.Option) *engine.Engine {
+	opts = append([]engine.Option{engine.WithCacheRatio(ratio), engine.WithSeed(seed)}, opts...)
+	e, err := engine.New(cfg, platform, fw, opts...)
 	if err != nil {
 		panic(err)
 	}

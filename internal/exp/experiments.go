@@ -128,7 +128,8 @@ func Fig3d(p Params) *report.Table {
 	for _, sc := range scenarios {
 		row := []interface{}{sc.name}
 		for _, fw := range frameworks {
-			e, err := engine.New(sc.cfg, platform, fw, engine.Options{CacheRatio: 0.25, Seed: p.Seed})
+			e, err := engine.New(sc.cfg, platform, fw,
+				engine.WithCacheRatio(0.25), engine.WithSeed(p.Seed))
 			if err != nil {
 				panic(err)
 			}

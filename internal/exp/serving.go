@@ -5,21 +5,22 @@ import (
 	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
 	"hybrimoe/internal/report"
-	"hybrimoe/internal/stats"
 	"hybrimoe/internal/workload"
 )
 
 // ServingStudy goes beyond the paper's per-stage measurements: it
 // serves a mixed request stream sampled from the three evaluation
-// corpora (MT-Bench, Vicuna-Bench, ChatGPT-Prompts) end to end —
-// prefill then decode per request, cache state carried across requests
-// — and reports mean TTFT and TBT per framework. The shape should
-// match the paper's per-stage findings (HybriMoE best on both; the
-// prefill gap driven by scheduling, the decode gap by caching and
-// balancing).
+// corpora (MT-Bench, Vicuna-Bench, ChatGPT-Prompts) through the
+// engine's streaming Session loop — prefill and decode interleaved,
+// cache state carried across requests — and reports TTFT and TBT
+// percentiles (p50/p95/p99) per framework, computed from the per-step
+// event stream. The shape should match the paper's per-stage findings
+// (HybriMoE best on both; the prefill gap driven by scheduling, the
+// decode gap by caching and balancing).
 func ServingStudy(p Params, requests int, ratio float64) *report.Table {
 	t := report.NewTable("Serving study: mixed corpus stream, end-to-end",
-		"framework", "mean-TTFT(s)", "mean-TBT(s)", "p95-TTFT(s)", "hit-rate")
+		"framework", "mean-TTFT(s)", "p50-TTFT(s)", "p95-TTFT(s)", "p99-TTFT(s)",
+		"p50-TBT(s)", "p95-TBT(s)", "p99-TBT(s)", "hit-rate")
 	platform := hw.A6000Platform()
 	cfg := moe.DeepSeek()
 
@@ -35,22 +36,28 @@ func ServingStudy(p Params, requests int, ratio float64) *report.Table {
 	}
 
 	for _, fw := range engine.AllFrameworks() {
-		e, err := engine.New(cfg, platform, fw, engine.Options{CacheRatio: ratio, Seed: p.Seed})
+		e, err := engine.New(cfg, platform, fw,
+			engine.WithCacheRatio(ratio), engine.WithSeed(p.Seed))
 		if err != nil {
 			panic(err)
 		}
-		var ttft stats.Sample
-		var tbt stats.Running
-		for _, r := range reqs {
-			pre := e.RunPrefill(r.PromptTokens)
-			ttft.Add(pre.Total)
-			dec := e.RunDecode(r.DecodeTokens)
-			for _, lat := range dec.StepLatencies {
-				tbt.Add(lat)
+		// Two requests in flight so prefill and decode genuinely
+		// interleave, the way a continuously-batched server mixes phases.
+		s := e.NewSession(engine.WithMaxConcurrent(2))
+		s.Submit(reqs...)
+		var ttfts, tbts []float64
+		s.Run(func(ev engine.StepEvent) {
+			switch ev.Phase {
+			case engine.PhasePrefill:
+				ttfts = append(ttfts, ev.Latency)
+			case engine.PhaseDecode:
+				tbts = append(tbts, ev.Latency)
 			}
-		}
-		last := e.Cache().HitRate()
-		t.AddRow(fw.Name, ttft.Mean(), tbt.Mean(), ttft.Quantile(0.95), last)
+		})
+		ttft := report.Latencies(ttfts)
+		tbt := report.Latencies(tbts)
+		t.AddRow(fw.Name, ttft.Mean, ttft.P50, ttft.P95, ttft.P99,
+			tbt.P50, tbt.P95, tbt.P99, e.Cache().HitRate())
 	}
 	return t
 }

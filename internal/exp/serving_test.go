@@ -19,6 +19,56 @@ func TestServingStudyShape(t *testing.T) {
 			t.Fatalf("missing framework %s:\n%s", fw, out)
 		}
 	}
+	// The serving driver reports percentile columns computed from the
+	// Session event stream, not means only.
+	for _, col := range []string{"p50-TTFT(s)", "p95-TTFT(s)", "p99-TTFT(s)", "p50-TBT(s)", "p95-TBT(s)", "p99-TBT(s)"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("missing percentile column %s:\n%s", col, out)
+		}
+	}
+}
+
+// TestServingStudyPercentilesOrdered checks p50 ≤ p95 ≤ p99 on every
+// row for both metrics.
+func TestServingStudyPercentilesOrdered(t *testing.T) {
+	p := QuickParams()
+	p.DecodeSteps = 4
+	out := ServingStudy(p, 5, 0.25).String()
+	for _, fw := range []string{"llama.cpp", "AdapMoE", "KTransformers", "HybriMoE"} {
+		fields := rowFields(t, out, fw)
+		// Columns: name, mean-TTFT, p50-TTFT, p95-TTFT, p99-TTFT,
+		// p50-TBT, p95-TBT, p99-TBT, hit-rate.
+		for _, span := range [][2]int{{2, 4}, {5, 7}} {
+			for i := span[0]; i < span[1]; i++ {
+				lo := parseField(t, fields[i])
+				hi := parseField(t, fields[i+1])
+				if lo > hi {
+					t.Fatalf("%s: percentile column %d (%v) above column %d (%v)\n%s",
+						fw, i, lo, i+1, hi, out)
+				}
+			}
+		}
+	}
+}
+
+func rowFields(t *testing.T, rendered, framework string) []string {
+	t.Helper()
+	for _, line := range strings.Split(rendered, "\n") {
+		if strings.HasPrefix(line, framework) {
+			return strings.Fields(line)
+		}
+	}
+	t.Fatalf("framework %s not found in:\n%s", framework, rendered)
+	return nil
+}
+
+func parseField(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
 }
 
 // ttftOf extracts the mean-TTFT column for a framework row.

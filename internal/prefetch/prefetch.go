@@ -11,6 +11,7 @@
 package prefetch
 
 import (
+	"fmt"
 	"sort"
 
 	"hybrimoe/internal/hw"
@@ -190,16 +191,57 @@ var (
 	_ Prefetcher = (*ImpactDriven)(nil)
 )
 
-// ByName constructs a prefetcher from its experiment-table name.
-func ByName(name string) (Prefetcher, bool) {
-	switch name {
-	case "none":
-		return NewNone(), true
-	case "next-layer-topk":
-		return NewNextLayerTopK(), true
-	case "impact-driven":
-		return NewImpactDriven(), true
-	default:
-		return nil, false
+// Factory builds one prefetcher instance for an engine run.
+type Factory func() Prefetcher
+
+var registry = map[string]Factory{}
+
+// Register makes a prefetcher constructible by name through New.
+// Registering a duplicate name or a nil factory panics: both are
+// programming errors in plugin wiring, caught at init time.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("prefetch: Register with empty name")
 	}
+	if f == nil {
+		panic(fmt.Sprintf("prefetch: Register(%q) with nil factory", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("prefetch: Register(%q) called twice", name))
+	}
+	registry[name] = f
+}
+
+// New builds the named prefetcher, or returns a descriptive error for
+// an unknown name.
+func New(name string) (Prefetcher, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("prefetch: unknown prefetcher %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered prefetchers in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName is a compatibility shim for the pre-registry API.
+//
+// Deprecated: use New.
+func ByName(name string) (Prefetcher, bool) {
+	p, err := New(name)
+	return p, err == nil
+}
+
+func init() {
+	Register("none", func() Prefetcher { return NewNone() })
+	Register("next-layer-topk", func() Prefetcher { return NewNextLayerTopK() })
+	Register("impact-driven", func() Prefetcher { return NewImpactDriven() })
 }

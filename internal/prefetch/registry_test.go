@@ -1,0 +1,62 @@
+package prefetch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRoundTripsBuiltins(t *testing.T) {
+	for _, name := range []string{"none", "next-layer-topk", "impact-driven"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v, want at least the builtins", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("psychic")
+	if err == nil {
+		t.Fatal("unknown prefetcher should error")
+	}
+	if !strings.Contains(err.Error(), "psychic") || !strings.Contains(err.Error(), "impact-driven") {
+		t.Fatalf("error %q should name the unknown prefetcher and the registered ones", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"duplicate":   func() { Register("none", func() Prefetcher { return NewNone() }) },
+		"empty name":  func() { Register("", func() Prefetcher { return NewNone() }) },
+		"nil factory": func() { Register("nil-factory", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s Register should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegisterThirdParty(t *testing.T) {
+	Register("test-window-1", func() Prefetcher { return &ImpactDriven{Window: 1} })
+	p, err := New("test-window-1")
+	if err != nil || p == nil {
+		t.Fatalf("third-party prefetcher: %v, %v", p, err)
+	}
+}

@@ -6,7 +6,40 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"hybrimoe/internal/stats"
 )
+
+// LatencyStats summarises a latency sample with the percentiles serving
+// studies report alongside the mean: p50, p95 and p99.
+type LatencyStats struct {
+	N                   int
+	Mean, P50, P95, P99 float64
+}
+
+// Latencies computes LatencyStats over xs. An empty sample yields the
+// zero value (all-zero percentiles) rather than panicking, so drained
+// event streams with no observations render as empty rows.
+func Latencies(xs []float64) LatencyStats {
+	if len(xs) == 0 {
+		return LatencyStats{}
+	}
+	var s stats.Sample
+	s.AddN(xs)
+	return LatencyStats{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Quantile(0.50),
+		P95:  s.Quantile(0.95),
+		P99:  s.Quantile(0.99),
+	}
+}
+
+// String renders the summary on one line.
+func (l LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs",
+		l.N, l.Mean, l.P50, l.P95, l.P99)
+}
 
 // Table accumulates rows with a fixed header and renders them aligned.
 type Table struct {

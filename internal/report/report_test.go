@@ -136,3 +136,36 @@ func TestEmptyFigure(t *testing.T) {
 		t.Fatal("empty figure should still render header")
 	}
 }
+
+func TestLatencies(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	l := Latencies(xs)
+	if l.N != 100 {
+		t.Fatalf("N = %d", l.N)
+	}
+	if l.Mean != 50.5 {
+		t.Fatalf("mean = %v", l.Mean)
+	}
+	if l.P50 > l.P95 || l.P95 > l.P99 {
+		t.Fatalf("percentiles not ordered: %+v", l)
+	}
+	if l.P50 < 49 || l.P50 > 52 {
+		t.Fatalf("p50 = %v, want ~50.5", l.P50)
+	}
+	if l.P99 < 98 || l.P99 > 100 {
+		t.Fatalf("p99 = %v, want ~99", l.P99)
+	}
+	if s := l.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestLatenciesEmpty(t *testing.T) {
+	l := Latencies(nil)
+	if l != (LatencyStats{}) {
+		t.Fatalf("empty sample should yield zero stats, got %+v", l)
+	}
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRoundTripsBuiltins(t *testing.T) {
+	gpuLayer := func(l int) bool { return l < 2 }
+	for _, name := range []string{"hybrimoe", "ktrans-static", "gpu-centric", "static-split", "exhaustive"} {
+		s, err := New(name, Config{GPULayer: gpuLayer})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s == nil || s.Name() == "" {
+			t.Fatalf("New(%q) built a nameless scheduler", name)
+		}
+	}
+	// Names lists exactly the registered set, sorted.
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"hybrimoe", "static-split"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Names() = %v missing %q", names, want)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("psychic", Config{})
+	if err == nil {
+		t.Fatal("unknown scheduler should error")
+	}
+	// The error names the offender and lists what is available.
+	if !strings.Contains(err.Error(), "psychic") || !strings.Contains(err.Error(), "hybrimoe") {
+		t.Fatalf("error %q should name the unknown scheduler and the registered ones", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	assertPanics(t, "duplicate", func() {
+		Register("hybrimoe", func(Config) Scheduler { return NewHybriMoE() })
+	})
+	assertPanics(t, "empty name", func() {
+		Register("", func(Config) Scheduler { return NewHybriMoE() })
+	})
+	assertPanics(t, "nil factory", func() {
+		Register("nil-factory", nil)
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s Register should panic", name)
+		}
+	}()
+	f()
+}
+
+// TestRegisterThirdParty registers a custom scheduler and builds an
+// instance through the registry, the drop-in extension path the
+// registries exist for.
+func TestRegisterThirdParty(t *testing.T) {
+	Register("test-third-party", func(Config) Scheduler { return NewGPUCentric() })
+	s, err := New("test-third-party", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("third-party factory returned nil")
+	}
+}
