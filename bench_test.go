@@ -18,6 +18,7 @@ import (
 	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
 	"hybrimoe/internal/quant"
+	"hybrimoe/internal/reqsched"
 	"hybrimoe/internal/sched"
 	"hybrimoe/internal/stats"
 	"hybrimoe/internal/tensor"
@@ -299,6 +300,63 @@ func BenchmarkEngineDecodeStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.RunDecode(1)
+	}
+}
+
+// BenchmarkReqSchedNext times one request-scheduling decision per
+// built-in policy over a 64-deep active set — the per-iteration cost
+// the pluggable scheduler adds to the Session loop.
+func BenchmarkReqSchedNext(b *testing.B) {
+	rng := stats.NewRNG(10)
+	active := make([]reqsched.Request, 64)
+	for i := range active {
+		active[i] = reqsched.Request{
+			ID: i, Seq: i,
+			RemainingDecode: 1 + rng.Intn(64),
+			Deadline:        rng.Float64() * 10,
+			Priority:        rng.Intn(3),
+		}
+	}
+	for _, name := range []string{"fcfs", "round-robin", "sjf", "edf"} {
+		b.Run(name, func(b *testing.B) {
+			s, err := reqsched.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				idx := s.Next(0, active)
+				s.Stepped(idx, false)
+			}
+		})
+	}
+}
+
+// BenchmarkSessionServeEDFAdmission times the serving loop with the
+// deadline-aware scheduler and the SLO admission guard engaged — the
+// overhead of live-quantile admission on top of BenchmarkSessionServe.
+func BenchmarkSessionServeEDFAdmission(b *testing.B) {
+	stream := workload.NewStream(9, workload.AllDatasets()...)
+	reqs := stream.NextN(4)
+	for i := range reqs {
+		if reqs[i].DecodeTokens > 4 {
+			reqs[i].DecodeTokens = 4
+		}
+	}
+	workload.AssignDeadlines(reqs, 0.05, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+			engine.WithCacheRatio(0.25), engine.WithSeed(9),
+			engine.WithRequestScheduler("edf"),
+			engine.WithAdmission(engine.NewSLOAdmission(0.2, 0.05)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := e.NewSession(engine.WithMaxConcurrent(2))
+		s.Submit(reqs...)
+		b.StartTimer()
+		s.Run(nil)
 	}
 }
 

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` text output into JSON so
+// CI can archive one machine-readable benchmark snapshot per commit
+// (BENCH_<sha>.json artifacts) and the performance trajectory can be
+// diffed across PRs.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... | benchjson -out BENCH_abc123.json
+//
+// Flags:
+//
+//	-in FILE   read benchmark text from FILE instead of stdin
+//	-out FILE  write JSON to FILE instead of stdout
+//
+// Every `BenchmarkX  N  <value> <unit> ...` line becomes one record
+// keeping all its metrics (ns/op, B/op, allocs/op and any custom
+// b.ReportMetric units like speedup-vs-ktrans). The run's goos/goarch/
+// cpu header is preserved, and each record remembers the package whose
+// header preceded it. Exits non-zero when no benchmark line is found,
+// so a silently-empty artifact fails the job instead of uploading.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Output is the artifact schema.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+	Runs int64  `json:"runs"`
+	// Metrics maps unit → value for every pair on the line:
+	// ns/op, B/op, allocs/op, MB/s and custom ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	in := flag.String("in", "", "read benchmark text from this file instead of stdin")
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Sprintf("unexpected arguments %v (want -in FILE, -out FILE)", flag.Args()))
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		r = f
+	}
+	o, err := parse(r)
+	if err != nil {
+		fatal(err.Error())
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o); err != nil {
+		fatal(err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "benchjson:", msg)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` text output and extracts every benchmark
+// record plus the environment header. It errors when no benchmark line
+// is present.
+func parse(r io.Reader) (Output, error) {
+	var o Output
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			o.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			o.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			o.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			o.Benchmarks = append(o.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Output{}, err
+	}
+	if len(o.Benchmarks) == 0 {
+		return Output{}, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return o, nil
+}
+
+// parseLine splits one result line: name, run count, then value/unit
+// pairs. Lines that do not fit the shape (e.g. a benchmark name echoed
+// without results) are skipped.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hybrimoe
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7Prefill-8         	       1	 123456789 ns/op	         1.330 speedup-vs-ktrans	 1024 B/op	      12 allocs/op
+BenchmarkReqSchedNext/edf      	       1	      1869 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	hybrimoe	0.442s
+`
+
+func TestParseSample(t *testing.T) {
+	o, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Goos != "linux" || o.Goarch != "amd64" || !strings.Contains(o.CPU, "Xeon") {
+		t.Fatalf("environment header lost: %+v", o)
+	}
+	if len(o.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(o.Benchmarks))
+	}
+	b := o.Benchmarks[0]
+	if b.Name != "BenchmarkFig7Prefill-8" || b.Pkg != "hybrimoe" || b.Runs != 1 {
+		t.Fatalf("record mis-parsed: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 123456789 {
+		t.Fatalf("ns/op = %v", b.Metrics["ns/op"])
+	}
+	// Custom ReportMetric units ride along with the standard ones.
+	if b.Metrics["speedup-vs-ktrans"] != 1.33 {
+		t.Fatalf("custom metric = %v", b.Metrics["speedup-vs-ktrans"])
+	}
+	if b.Metrics["B/op"] != 1024 || b.Metrics["allocs/op"] != 12 {
+		t.Fatalf("benchmem metrics lost: %+v", b.Metrics)
+	}
+	sub := o.Benchmarks[1]
+	if sub.Name != "BenchmarkReqSchedNext/edf" || sub.Metrics["ns/op"] != 1869 {
+		t.Fatalf("sub-benchmark mis-parsed: %+v", sub)
+	}
+}
+
+func TestParseMultiPackage(t *testing.T) {
+	multi := `pkg: hybrimoe
+BenchmarkA 	 10	 5 ns/op
+pkg: hybrimoe/internal/cache
+BenchmarkB 	 20	 7 ns/op
+`
+	o, err := parse(strings.NewReader(multi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Benchmarks[0].Pkg != "hybrimoe" || o.Benchmarks[1].Pkg != "hybrimoe/internal/cache" {
+		t.Fatalf("per-package attribution wrong: %+v", o.Benchmarks)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok  \thybrimoe\t0.1s\n")); err == nil {
+		t.Fatal("input without benchmark lines must error")
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	in := `BenchmarkBroken no-numbers here
+BenchmarkOK 	 3	 9 ns/op
+`
+	o, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Benchmarks) != 1 || o.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("malformed line not skipped: %+v", o.Benchmarks)
+	}
+}

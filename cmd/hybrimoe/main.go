@@ -13,12 +13,20 @@
 //	-seed N        trace seed (default 2025)
 //	-steps N       decode iterations per configuration (default 50)
 //	-quick         reduced iteration counts for a fast smoke run
+//
+// Serve flags (see `hybrimoe serve -h` for the full set):
+//
+//	-reqsched NAME      request scheduler: fcfs, round-robin, sjf, edf
+//	-slo-ttft-p95 SECS  p95 TTFT target; >0 enables SLO admission control
+//	-slo-tbt-p95 SECS   p95 TBT target; >0 enables SLO admission control
+//	-deadline SECS      per-token deadline budget; >0 stamps completion deadlines
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hybrimoe/internal/core"
 	"hybrimoe/internal/engine"
@@ -26,6 +34,7 @@ import (
 	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
 	"hybrimoe/internal/report"
+	"hybrimoe/internal/reqsched"
 	"hybrimoe/internal/workload"
 )
 
@@ -112,6 +121,10 @@ func run(args []string) error {
 		requests := fs.Int("requests", 8, "requests to draw from the workload stream")
 		concurrent := fs.Int("concurrent", 2, "requests served at once (phases interleave)")
 		decodeCap := fs.Int("decode-cap", 16, "cap on decode tokens per request")
+		reqSched := fs.String("reqsched", "round-robin", "request scheduler: "+strings.Join(reqsched.Names(), ", "))
+		sloTTFT := fs.Float64("slo-ttft-p95", 0, "p95 TTFT target in seconds; >0 enables SLO admission control")
+		sloTBT := fs.Float64("slo-tbt-p95", 0, "p95 TBT target in seconds; >0 enables SLO admission control")
+		deadline := fs.Float64("deadline", 0, "per-token completion-deadline budget in seconds; >0 stamps deadlines")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -119,7 +132,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return serve(cfg, *ratio, *seed, *requests, *concurrent, *decodeCap)
+		sc := serveConfig{
+			cfg: cfg, ratio: *ratio, seed: *seed,
+			requests: *requests, concurrent: *concurrent, decodeCap: *decodeCap,
+			reqSched: *reqSched, sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
+		}
+		return serve(sc)
 
 	default:
 		usage()
@@ -127,36 +145,69 @@ func run(args []string) error {
 	}
 }
 
+// serveConfig bundles the serve subcommand's knobs.
+type serveConfig struct {
+	cfg                  *moe.Config
+	ratio                float64
+	seed                 uint64
+	requests, concurrent int
+	decodeCap            int
+	reqSched             string
+	sloTTFT, sloTBT      float64
+	deadline             float64
+}
+
 // serve streams a mixed-corpus request workload through the engine's
-// Session loop and reports TTFT/TBT percentiles from the step events.
-func serve(cfg *moe.Config, ratio float64, seed uint64, requests, concurrent, decodeCap int) error {
-	if requests < 1 {
-		return fmt.Errorf("-requests %d must be at least 1", requests)
+// Session loop — under the selected request scheduler and, when SLO
+// targets are set, admission control — and reports TTFT/TBT percentiles
+// plus shed/deferral/violation accounting from the step events.
+func serve(sc serveConfig) error {
+	if sc.requests < 1 {
+		return fmt.Errorf("-requests %d must be at least 1", sc.requests)
 	}
-	if concurrent < 1 {
-		return fmt.Errorf("-concurrent %d must be at least 1", concurrent)
+	if sc.concurrent < 1 {
+		return fmt.Errorf("-concurrent %d must be at least 1", sc.concurrent)
 	}
-	if decodeCap < 0 {
-		return fmt.Errorf("-decode-cap %d must be non-negative", decodeCap)
+	if sc.decodeCap < 0 {
+		return fmt.Errorf("-decode-cap %d must be non-negative", sc.decodeCap)
 	}
-	e, err := engine.New(cfg, hw.A6000Platform(), engine.HybriMoEFramework(),
-		engine.WithCacheRatio(ratio), engine.WithSeed(seed))
+	if sc.deadline < 0 {
+		return fmt.Errorf("-deadline %v must be non-negative", sc.deadline)
+	}
+	opts := []engine.Option{
+		engine.WithCacheRatio(sc.ratio),
+		engine.WithSeed(sc.seed),
+		engine.WithRequestScheduler(sc.reqSched),
+	}
+	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
+	if admitting {
+		opts = append(opts, engine.WithAdmission(engine.NewSLOAdmission(sc.sloTTFT, sc.sloTBT)))
+	}
+	e, err := engine.New(sc.cfg, hw.A6000Platform(), engine.HybriMoEFramework(), opts...)
 	if err != nil {
 		return err
 	}
-	stream := workload.NewStream(seed, workload.AllDatasets()...)
-	reqs := stream.NextN(requests)
+	stream := workload.NewStream(sc.seed, workload.AllDatasets()...)
+	reqs := stream.NextN(sc.requests)
 	for i := range reqs {
-		if reqs[i].DecodeTokens > decodeCap {
-			reqs[i].DecodeTokens = decodeCap
+		if reqs[i].DecodeTokens > sc.decodeCap {
+			reqs[i].DecodeTokens = sc.decodeCap
 		}
 	}
-	s := e.NewSession(engine.WithMaxConcurrent(concurrent))
+	if sc.deadline > 0 {
+		workload.AssignDeadlines(reqs, 0, sc.deadline)
+	}
+	s := e.NewSession(engine.WithMaxConcurrent(sc.concurrent))
 	s.Submit(reqs...)
 
-	fmt.Printf("serving %d requests on %s (%.0f%% cache, ≤%d concurrent)\n\n",
-		len(reqs), cfg.Name, ratio*100, concurrent)
+	fmt.Printf("serving %d requests on %s (%.0f%% cache, ≤%d concurrent, %s scheduling",
+		len(reqs), sc.cfg.Name, sc.ratio*100, sc.concurrent, sc.reqSched)
+	if admitting {
+		fmt.Printf(", SLO p95 TTFT %.3gs / TBT %.3gs", sc.sloTTFT, sc.sloTBT)
+	}
+	fmt.Print(")\n\n")
 	var ttfts, tbts []float64
+	violations := 0
 	s.Run(func(ev engine.StepEvent) {
 		switch ev.Phase {
 		case engine.PhasePrefill:
@@ -165,14 +216,35 @@ func serve(cfg *moe.Config, ratio float64, seed uint64, requests, concurrent, de
 				ev.End, ev.Request, ev.Tokens, ev.Latency)
 		case engine.PhaseDecode:
 			tbts = append(tbts, ev.Latency)
-			if ev.Done {
-				fmt.Printf("  t=%7.3fs req %2d done after %d decode steps\n",
-					ev.End, ev.Request, ev.Index+1)
+		case engine.PhaseShed:
+			fmt.Printf("  t=%7.3fs req %2d SHED by admission control\n", ev.End, ev.Request)
+			return
+		case engine.PhaseDeferred:
+			fmt.Printf("  t=%7.3fs req %2d deferred by admission control\n", ev.End, ev.Request)
+			return
+		}
+		// Done can ride a decode event or, for decode-free requests, the
+		// prefill itself.
+		if ev.Done {
+			late := ""
+			if ev.Deadline > 0 && ev.End > ev.Deadline {
+				violations++
+				late = fmt.Sprintf("  MISSED deadline %.3fs", ev.Deadline)
 			}
+			steps := ev.Index + 1
+			if ev.Phase == engine.PhasePrefill {
+				steps = 0
+			}
+			fmt.Printf("  t=%7.3fs req %2d done after %d decode steps%s\n",
+				ev.End, ev.Request, steps, late)
 		}
 	})
 
 	fmt.Printf("\nsteps: %d   cache hit rate: %.1f%%\n", s.Steps(), 100*e.Cache().HitRate())
+	if admitting || sc.deadline > 0 {
+		fmt.Printf("admission: %d shed, %d deferral verdicts   deadline violations: %d\n",
+			s.Shed(), s.Deferred(), violations)
+	}
 	fmt.Printf("TTFT  %s\n", report.Latencies(ttfts))
 	fmt.Printf("TBT   %s\n", report.Latencies(tbts))
 	return nil

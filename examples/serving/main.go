@@ -81,9 +81,58 @@ func main() {
 	fmt.Printf("TTFT  %s\n", report.Latencies(ttfts))
 	fmt.Printf("TBT   %s\n", report.Latencies(tbts))
 
+	// The same stream under deadline-aware scheduling and SLO admission
+	// control: requests carry per-token completion deadlines, EDF picks
+	// the most urgent in-flight request each iteration, and the
+	// admission guard sheds best-effort arrivals once the live p95s
+	// breach their targets (priority requests are only ever deferred).
+	for i := range reqs {
+		reqs[i].Deadline = 0.025 * float64(reqs[i].PromptTokens+reqs[i].DecodeTokens)
+		if i%3 == 0 {
+			reqs[i].Priority = 1
+		}
+	}
+	e2, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+		engine.WithCacheRatio(0.25), engine.WithSeed(42),
+		engine.WithRequestScheduler("edf"),
+		engine.WithAdmission(engine.NewSLOAdmission(0.12, 0.02)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2 := e2.NewSession(engine.WithMaxConcurrent(2))
+	s2.Submit(reqs...)
+
+	fmt.Println("\nEDF + SLO admission (p95 targets: TTFT 0.12s, TBT 0.02s):")
+	violations := 0
+	s2.Run(func(ev engine.StepEvent) {
+		switch ev.Phase {
+		case engine.PhaseShed:
+			fmt.Printf("  t=%7.3fs  req %2d  shed by admission control\n", ev.End, ev.Request)
+		case engine.PhaseDeferred:
+			fmt.Printf("  t=%7.3fs  req %2d  deferred by admission control\n", ev.End, ev.Request)
+		case engine.PhaseDecode:
+			if ev.Done {
+				verdict := "met"
+				if ev.Deadline > 0 && ev.End > ev.Deadline {
+					verdict = "MISSED"
+					violations++
+				}
+				fmt.Printf("  t=%7.3fs  req %2d  done, deadline %.3fs %s\n",
+					ev.End, ev.Request, ev.Deadline, verdict)
+			}
+		}
+	})
+	fmt.Printf("shed %d, deferral verdicts %d, deadline violations %d\n",
+		s2.Shed(), s2.Deferred(), violations)
+
 	// End-to-end serving comparison across frameworks, with percentiles.
 	fmt.Println()
 	p := exp.DefaultParams()
 	p.DecodeSteps = 16 // decode burst cap per request
 	exp.ServingStudy(p, 12, 0.25).Render(os.Stdout)
+
+	// Request schedulers × admission policies on one fixed stream:
+	// goodput, SLO violation rate and shed fraction side-by-side.
+	fmt.Println()
+	exp.ServingPolicyStudy(p, 12, 0.25).Render(os.Stdout)
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hybrimoe/internal/prefetch"
+	"hybrimoe/internal/reqsched"
 )
 
 // Option configures an engine at construction. Options validate their
@@ -23,6 +24,8 @@ type settings struct {
 	recordTrace   bool
 	validatePlans bool
 	prefetcher    prefetch.Prefetcher
+	reqSched      string
+	admission     AdmissionPolicy
 }
 
 func defaultSettings() settings {
@@ -30,6 +33,7 @@ func defaultSettings() settings {
 		cacheRatio:  0.25,
 		context:     512,
 		warmupIters: 32,
+		reqSched:    "round-robin",
 	}
 }
 
@@ -94,6 +98,37 @@ func WithTraceRecording() Option {
 func WithPlanValidation() Option {
 	return func(s *settings) error {
 		s.validatePlans = true
+		return nil
+	}
+}
+
+// WithRequestScheduler selects the request-level scheduling policy the
+// engine's Sessions advance requests with, by reqsched registry name
+// ("round-robin" when unset — the historical Session behaviour; "fcfs",
+// "sjf" and "edf" among the built-ins). Unknown names are rejected
+// eagerly with the registered set. Each Session builds its own policy
+// instance, so stateful policies never share cursors across sessions.
+func WithRequestScheduler(name string) Option {
+	return func(s *settings) error {
+		if _, err := reqsched.New(name); err != nil {
+			return err
+		}
+		s.reqSched = name
+		return nil
+	}
+}
+
+// WithAdmission installs an admission controller on the engine's
+// Sessions: every pending request passes through policy before entering
+// the active set, with the live TTFT/TBT quantiles in hand, and may be
+// deferred or shed (emitting PhaseDeferred/PhaseShed events). Nil is
+// rejected; omit the option for unconditional admission.
+func WithAdmission(policy AdmissionPolicy) Option {
+	return func(s *settings) error {
+		if policy == nil {
+			return fmt.Errorf("engine: WithAdmission(nil)")
+		}
+		s.admission = policy
 		return nil
 	}
 }

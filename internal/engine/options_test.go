@@ -25,6 +25,8 @@ func TestOptionValidation(t *testing.T) {
 		{"negative context", WithContext(-3), "must be positive"},
 		{"negative warmup", WithWarmupIters(-1), "must be non-negative"},
 		{"nil prefetcher", WithPrefetcher(nil), "WithPrefetcher(nil)"},
+		{"unknown request scheduler", WithRequestScheduler("psychic"), "unknown request scheduler"},
+		{"nil admission", WithAdmission(nil), "WithAdmission(nil)"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 
+	"hybrimoe/internal/report"
+	"hybrimoe/internal/reqsched"
 	"hybrimoe/internal/trace"
 	"hybrimoe/internal/workload"
 )
@@ -18,6 +20,14 @@ const (
 	// PhaseDecode is one token-generation iteration; its latency is one
 	// TBT observation.
 	PhaseDecode
+	// PhaseShed records an admission rejection: the request was dropped
+	// before running anything. The event carries zero tokens and
+	// latency, Done is set, and no further event mentions the request.
+	PhaseShed
+	// PhaseDeferred records the first time admission delayed a request;
+	// later deferrals of the same request only increment the session's
+	// Deferred counter.
+	PhaseDeferred
 )
 
 // String returns the stage name experiment tables use.
@@ -27,6 +37,10 @@ func (p Phase) String() string {
 		return "prefill"
 	case PhaseDecode:
 		return "decode"
+	case PhaseShed:
+		return "shed"
+	case PhaseDeferred:
+		return "deferred"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -56,7 +70,11 @@ type StepEvent struct {
 	// CPUBusy, GPUBusy and LinkBusy report how far each resource's
 	// occupancy frontier advanced during this step (seconds).
 	CPUBusy, GPUBusy, LinkBusy float64
-	// Done marks the request's final step.
+	// Deadline echoes the request's completion deadline (0 when none),
+	// so consumers can count SLO violations — End past Deadline on the
+	// Done event — without a side table.
+	Deadline float64
+	// Done marks the request's final step (or its shed record).
 	Done bool
 }
 
@@ -79,6 +97,8 @@ type sessionRequest struct {
 	req       workload.Request
 	prefilled bool
 	decoded   int
+	seq       int  // admission order, the schedulers' final tie-break
+	deferred  bool // a PhaseDeferred event has been emitted
 }
 
 func (r *sessionRequest) done() bool {
@@ -87,26 +107,46 @@ func (r *sessionRequest) done() bool {
 }
 
 // Session is the streaming run loop: requests are submitted (up front
-// or while running), admitted up to the concurrency limit, and advanced
-// one engine iteration per Step call — a prefill forward or a single
-// decode step — with a StepEvent emitted for each. The expert cache,
-// trace generator and device clocks carry state across requests, the
-// state a long-running server would have.
+// or while running), pass the admission policy, enter the active set up
+// to the concurrency limit, and are advanced one engine iteration per
+// Step call — the request picked by the configured request scheduler,
+// running a prefill forward or a single decode step — with a StepEvent
+// emitted for each. The expert cache, trace generator and device clocks
+// carry state across requests, the state a long-running server would
+// have.
 type Session struct {
 	e             *Engine
 	pending       []*sessionRequest
 	active        []*sessionRequest
-	rr            int // round-robin cursor over active
+	sched         reqsched.Scheduler
+	adm           AdmissionPolicy
 	maxConcurrent int
 	steps         int
+	nextSeq       int
+	// admEvents queues shed/deferral records for emission, one per Step
+	// call, ahead of compute steps.
+	admEvents []StepEvent
+	// ttfts and tbts accumulate the live latency observations admission
+	// snapshots quantile over (sorted incrementally, queried per step).
+	ttfts, tbts report.Live
+	shed        int
+	deferred    int
 }
 
-// NewSession starts a streaming run loop on the engine. An engine
-// should drive one session (or the Run* compatibility wrappers) at a
-// time; interleaving several corrupts none of the accounting but makes
-// the shared clock meaningless.
+// NewSession starts a streaming run loop on the engine, with the
+// request scheduler and admission policy the engine was constructed
+// with (WithRequestScheduler, WithAdmission). An engine should drive
+// one session (or the Run* compatibility wrappers) at a time;
+// interleaving several corrupts none of the accounting but makes the
+// shared clock meaningless.
 func (e *Engine) NewSession(opts ...SessionOption) *Session {
-	s := &Session{e: e, maxConcurrent: 1}
+	rs, err := reqsched.New(e.set.reqSched)
+	if err != nil {
+		// WithRequestScheduler validated the name at construction; only
+		// a corrupted settings struct reaches here.
+		panic(fmt.Sprintf("engine: request scheduler vanished from registry: %v", err))
+	}
+	s := &Session{e: e, sched: rs, adm: e.set.admission, maxConcurrent: 1}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -123,40 +163,136 @@ func (s *Session) Submit(reqs ...workload.Request) {
 	}
 }
 
-// Pending reports how many submitted requests have not yet finished.
+// Pending reports how many submitted requests have not yet finished
+// (shed requests no longer count).
 func (s *Session) Pending() int { return len(s.pending) + len(s.active) }
 
-// Steps reports how many step events the session has emitted.
+// Steps reports how many step events the session has emitted,
+// shed/deferral records included.
 func (s *Session) Steps() int { return s.steps }
 
+// Shed reports how many requests the admission policy dropped.
+func (s *Session) Shed() int { return s.shed }
+
+// Deferred reports how many deferral verdicts the admission policy
+// returned (a single request deferred across n admission passes counts
+// n times; its PhaseDeferred event is emitted once).
+func (s *Session) Deferred() int { return s.deferred }
+
+// Scheduler reports the request-scheduling policy driving this session.
+func (s *Session) Scheduler() string { return s.sched.Name() }
+
+// snapshot assembles the live-quantile view an admission decision sees.
+func (s *Session) snapshot() SLOSnapshot {
+	return SLOSnapshot{
+		Now:    s.e.clock,
+		TTFT:   s.ttfts.Stats(),
+		TBT:    s.tbts.Stats(),
+		Active: len(s.active),
+		Queued: len(s.pending),
+	}
+}
+
 // admit moves pending requests into the active set up to the
-// concurrency limit. Requests with no work at all (neither prompt nor
-// decode tokens) are dropped rather than granted a phantom step.
+// concurrency limit, consulting the admission policy when one is
+// installed. Requests with no work at all (neither prompt nor decode
+// tokens) are dropped rather than granted a phantom step. A deferred
+// request stays at the head of the queue — admission is order-
+// preserving, so later arrivals wait behind it — unless nothing is
+// active, in which case it is admitted anyway: with no work in flight
+// the quantiles can never recover, and the loop must make progress.
 func (s *Session) admit() {
+	// The latency quantiles and clock are invariant across one admission
+	// pass (no step runs in between); snapshot them once and refresh
+	// only the queue depths per decision.
+	var snap SLOSnapshot
+	if s.adm != nil && len(s.pending) > 0 {
+		snap = s.snapshot()
+	}
 	for len(s.active) < s.maxConcurrent && len(s.pending) > 0 {
 		r := s.pending[0]
-		s.pending = s.pending[1:]
 		if r.done() {
+			s.pending = s.pending[1:]
 			continue
 		}
+		if s.adm != nil {
+			snap.Active, snap.Queued = len(s.active), len(s.pending)
+			d := s.adm.Decide(r.req, snap)
+			if d == AdmissionDefer && len(s.active) == 0 {
+				// The verdict still counts; only the wait is skipped.
+				s.deferred++
+				d = AdmissionAdmit
+			}
+			switch d {
+			case AdmissionShed:
+				s.pending = s.pending[1:]
+				s.shed++
+				s.admEvents = append(s.admEvents, StepEvent{
+					Request: r.req.ID, Phase: PhaseShed,
+					Start: s.e.clock, End: s.e.clock,
+					Deadline: r.req.Deadline, Done: true,
+				})
+				continue
+			case AdmissionDefer:
+				s.deferred++
+				if !r.deferred {
+					r.deferred = true
+					s.admEvents = append(s.admEvents, StepEvent{
+						Request: r.req.ID, Phase: PhaseDeferred,
+						Start: s.e.clock, End: s.e.clock,
+						Deadline: r.req.Deadline,
+					})
+				}
+				return
+			}
+		}
+		s.pending = s.pending[1:]
+		r.seq = s.nextSeq
+		s.nextSeq++
 		s.active = append(s.active, r)
 	}
 }
 
-// Step runs one engine iteration for the next runnable request and
-// returns its event. ok is false when every submitted request has
-// finished.
+// schedView projects the active set into the request schedulers' view.
+func (s *Session) schedView() []reqsched.Request {
+	view := make([]reqsched.Request, len(s.active))
+	for i, r := range s.active {
+		view[i] = reqsched.Request{
+			ID:              r.req.ID,
+			Seq:             r.seq,
+			Priority:        r.req.Priority,
+			Deadline:        r.req.Deadline,
+			Prefilled:       r.prefilled,
+			PromptTokens:    r.req.PromptTokens,
+			RemainingDecode: r.req.DecodeTokens - r.decoded,
+		}
+	}
+	return view
+}
+
+// Step runs one admission pass and then one engine iteration for the
+// request the scheduler picks, returning its event — or a queued
+// shed/deferral record, one per call, ahead of compute. ok is false
+// when every submitted request has finished or been shed.
 func (s *Session) Step() (ev StepEvent, ok bool) {
 	s.admit()
+	if len(s.admEvents) > 0 {
+		ev = s.admEvents[0]
+		s.admEvents = s.admEvents[1:]
+		s.steps++
+		return ev, true
+	}
 	if len(s.active) == 0 {
 		return StepEvent{}, false
 	}
-	if s.rr >= len(s.active) {
-		s.rr = 0
+	idx := s.sched.Next(s.e.clock, s.schedView())
+	if idx < 0 || idx >= len(s.active) {
+		panic(fmt.Sprintf("engine: request scheduler %q picked index %d of %d active",
+			s.sched.Name(), idx, len(s.active)))
 	}
-	r := s.active[s.rr]
+	r := s.active[idx]
 
-	ev = StepEvent{Request: r.req.ID, Start: s.e.clock}
+	ev = StepEvent{Request: r.req.ID, Start: s.e.clock, Deadline: r.req.Deadline}
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
 	cpu0, gpu0, link0 := s.e.cpuBusy, s.e.gpuBusy, s.e.linkBusy
 
@@ -167,6 +303,11 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 		acts := trace.PrefillStep(s.e.gen, r.req.PromptTokens)
 		ev.Latency = s.e.runStep(acts, r.req.PromptTokens, r.req.PromptTokens)
 		r.prefilled = true
+		if s.adm != nil {
+			// Only admission snapshots read the accumulators; skip the
+			// sorted insert (and the retained history) without a policy.
+			s.ttfts.Add(ev.Latency)
+		}
 	} else {
 		ev.Phase = PhaseDecode
 		ev.Index = r.decoded
@@ -175,6 +316,9 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 		acts := trace.DecodeStep(s.e.gen)
 		ev.Latency = s.e.runStep(acts, 1, s.contextFor(r))
 		r.decoded++
+		if s.adm != nil {
+			s.tbts.Add(ev.Latency)
+		}
 	}
 
 	ev.End = s.e.clock
@@ -188,11 +332,9 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
 
 	if ev.Done {
-		s.active = append(s.active[:s.rr], s.active[s.rr+1:]...)
-		// rr now points at the next request; wrap handled on next Step.
-	} else {
-		s.rr++
+		s.active = append(s.active[:idx], s.active[idx+1:]...)
 	}
+	s.sched.Stepped(idx, ev.Done)
 	return ev, true
 }
 

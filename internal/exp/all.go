@@ -38,6 +38,9 @@ func Registry() []Experiment {
 		{"serving", "End-to-end mixed-corpus serving study", func(p Params) Renderable {
 			return ServingStudy(p, 10, 0.25)
 		}},
+		{"serving-policy", "Request schedulers × SLO admission comparison", func(p Params) Renderable {
+			return ServingPolicyStudy(p, 10, 0.25)
+		}},
 		{"precision", "INT4 vs INT8 offloading trade-off", func(p Params) Renderable { return PrecisionStudy(p) }},
 	}
 }

@@ -92,6 +92,53 @@ func ttftOf(t *testing.T, rendered, framework string) float64 {
 	return 0
 }
 
+func TestServingPolicyStudyShape(t *testing.T) {
+	p := QuickParams()
+	p.DecodeSteps = 4
+	tbl := ServingPolicyStudy(p, 5, 0.25)
+	out := render(t, tbl)
+	// 4 schedulers × {open door, SLO guard}.
+	if tbl.NumRows() != 8 {
+		t.Fatalf("rows = %d, want 8:\n%s", tbl.NumRows(), out)
+	}
+	for _, name := range []string{"fcfs", "round-robin", "sjf", "edf", "none", "slo-p95"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing policy %s:\n%s", name, out)
+		}
+	}
+	for _, col := range []string{"goodput(req/s)", "violation-rate", "shed-fraction", "p95-TTFT(s)", "p95-TBT(s)"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("missing column %s:\n%s", col, out)
+		}
+	}
+}
+
+// TestServingPolicyStudyOpenDoorShedsNothing pins the no-admission
+// baseline rows: without a policy installed nothing is shed, so every
+// offered request completes.
+func TestServingPolicyStudyOpenDoorShedsNothing(t *testing.T) {
+	p := QuickParams()
+	p.DecodeSteps = 4
+	out := ServingPolicyStudy(p, 5, 0.25).String()
+	seen := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 8 || fields[1] != "none" {
+			continue
+		}
+		seen++
+		if completed := fields[2]; completed != "5" {
+			t.Fatalf("open-door row completed %s of 5:\n%s", completed, out)
+		}
+		if shed := fields[3]; shed != "0" {
+			t.Fatalf("open-door row shed %s requests:\n%s", shed, out)
+		}
+	}
+	if seen != 4 {
+		t.Fatalf("found %d open-door rows, want 4:\n%s", seen, out)
+	}
+}
+
 func TestServingStudyHybriMoEWins(t *testing.T) {
 	p := QuickParams()
 	p.DecodeSteps = 6

@@ -1,0 +1,101 @@
+package reqsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRoundTripsBuiltins(t *testing.T) {
+	for _, name := range []string{"fcfs", "round-robin", "sjf", "edf"} {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s == nil || s.Name() != name {
+			t.Fatalf("New(%q) built scheduler named %q", name, s.Name())
+		}
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"edf", "round-robin"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Names() = %v missing %q", names, want)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("psychic")
+	if err == nil {
+		t.Fatal("unknown request scheduler should error")
+	}
+	// The error names the offender and lists what is available.
+	if !strings.Contains(err.Error(), "psychic") || !strings.Contains(err.Error(), "round-robin") {
+		t.Fatalf("error %q should name the unknown scheduler and the registered ones", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	assertPanics(t, "duplicate", func() {
+		Register("round-robin", func() Scheduler { return NewRoundRobin() })
+	})
+	assertPanics(t, "empty name", func() {
+		Register("", func() Scheduler { return NewFCFS() })
+	})
+	assertPanics(t, "nil factory", func() {
+		Register("nil-factory", nil)
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s Register should panic", name)
+		}
+	}()
+	f()
+}
+
+// TestFactoriesReturnFreshInstances pins the per-session isolation
+// contract: stateful policies must not share cursors across sessions.
+func TestFactoriesReturnFreshInstances(t *testing.T) {
+	a, err := New("round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := []Request{{ID: 0}, {ID: 1}}
+	a.Next(0, active)
+	a.Stepped(0, false)
+	// b's cursor must be untouched by a's progress.
+	if got := b.Next(0, active); got != 0 {
+		t.Fatalf("fresh round-robin started at index %d, want 0", got)
+	}
+}
+
+// TestRegisterThirdParty registers a custom policy and builds it through
+// the registry, the drop-in extension path the registries exist for.
+func TestRegisterThirdParty(t *testing.T) {
+	Register("test-third-party", func() Scheduler { return NewFCFS() })
+	s, err := New("test-third-party")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("third-party factory returned nil")
+	}
+}

@@ -1,0 +1,49 @@
+// Package reqsched implements request-level scheduling policies for the
+// engine's streaming Session loop: given the set of in-flight requests,
+// a policy picks which one advances by the next engine iteration. It
+// mirrors the layer-level plugin registries (sched, cache, prefetch) so
+// serving studies select the policy by name — FCFS, round-robin (the
+// Session default), shortest-job-first and deadline-aware EDF among the
+// built-ins — and third-party policies drop in through Register.
+package reqsched
+
+// Request is the scheduler's view of one in-flight request. It carries
+// only what a policy may rank on, not the engine-side execution state.
+type Request struct {
+	// ID is the workload request ID (stable across the request's life).
+	ID int
+	// Seq is the admission order: request Seq i entered the active set
+	// before Seq j for all i < j. Policies use it as the deterministic
+	// final tie-break.
+	Seq int
+	// Priority ranks requests when the primary key ties; higher is more
+	// urgent. 0 is the default for requests that never set one.
+	Priority int
+	// Deadline is the absolute simulation-clock completion target in
+	// seconds; 0 means the request has no deadline.
+	Deadline float64
+	// Prefilled reports whether the prompt forward has run.
+	Prefilled bool
+	// PromptTokens is the prompt length (0 for decode-only bursts).
+	PromptTokens int
+	// RemainingDecode is the number of decode steps still to run.
+	RemainingDecode int
+}
+
+// Scheduler picks the next request to advance. Implementations may keep
+// state across calls (the round-robin cursor does); a Session owns one
+// instance for its whole run.
+type Scheduler interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Next returns the index into active of the request to step next.
+	// active is never empty and now is the simulation clock. The index
+	// must be in [0, len(active)).
+	Next(now float64, active []Request) int
+	// Stepped reports the outcome of the step the scheduler just
+	// picked: the index it returned from Next and whether that request
+	// finished and was removed from active (the slice closes up, so a
+	// cursor at idx then points at the next request). Stateless
+	// policies ignore it.
+	Stepped(idx int, removed bool)
+}

@@ -1,0 +1,139 @@
+package reqsched
+
+import "math"
+
+// FCFS serves requests strictly in admission order: the earliest-admitted
+// active request runs to completion before any later one advances.
+type FCFS struct{}
+
+// NewFCFS returns the first-come-first-served policy.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Next implements Scheduler: the lowest admission sequence wins.
+func (FCFS) Next(_ float64, active []Request) int {
+	best := 0
+	for i := 1; i < len(active); i++ {
+		if active[i].Seq < active[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// Stepped implements Scheduler (stateless).
+func (FCFS) Stepped(int, bool) {}
+
+// RoundRobin cycles over the active set, one step each — the Session's
+// historical hard-coded behaviour, kept as the default policy. The
+// cursor stays in place when the stepped request finishes (the active
+// slice closes up, so it already points at the successor) and wraps on
+// the next pick.
+type RoundRobin struct {
+	cursor int
+}
+
+// NewRoundRobin returns the cycling policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(_ float64, active []Request) int {
+	if r.cursor >= len(active) {
+		r.cursor = 0
+	}
+	return r.cursor
+}
+
+// Stepped implements Scheduler: advance past a surviving request, stay
+// put over a removed one.
+func (r *RoundRobin) Stepped(_ int, removed bool) {
+	if !removed {
+		r.cursor++
+	}
+}
+
+// SJF is shortest-job-first by remaining decode tokens: the request
+// closest to finishing advances, draining short requests early to cut
+// mean completion time. Pending prefill work is deliberately not
+// counted — the policy ranks on decode steps left, so a short-decode
+// request runs its prompt forward first even when that prompt is large.
+// Ties fall to higher priority, then admission order.
+type SJF struct{}
+
+// NewSJF returns the shortest-job-first policy.
+func NewSJF() *SJF { return &SJF{} }
+
+// Name implements Scheduler.
+func (SJF) Name() string { return "sjf" }
+
+// Next implements Scheduler.
+func (SJF) Next(_ float64, active []Request) int {
+	best := 0
+	for i := 1; i < len(active); i++ {
+		if sjfLess(active[i], active[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func sjfLess(a, b Request) bool {
+	if a.RemainingDecode != b.RemainingDecode {
+		return a.RemainingDecode < b.RemainingDecode
+	}
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Seq < b.Seq
+}
+
+// Stepped implements Scheduler (stateless).
+func (SJF) Stepped(int, bool) {}
+
+// EDF is earliest-deadline-first: the request whose completion deadline
+// expires soonest advances. Requests without a deadline sort after every
+// deadlined one; ties fall to higher priority, then admission order.
+type EDF struct{}
+
+// NewEDF returns the deadline-aware policy.
+func NewEDF() *EDF { return &EDF{} }
+
+// Name implements Scheduler.
+func (EDF) Name() string { return "edf" }
+
+// Next implements Scheduler.
+func (EDF) Next(_ float64, active []Request) int {
+	best := 0
+	for i := 1; i < len(active); i++ {
+		if edfLess(active[i], active[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func edfLess(a, b Request) bool {
+	da, db := effectiveDeadline(a), effectiveDeadline(b)
+	if da != db {
+		return da < db
+	}
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Seq < b.Seq
+}
+
+func effectiveDeadline(r Request) float64 {
+	if r.Deadline <= 0 {
+		return math.Inf(1)
+	}
+	return r.Deadline
+}
+
+// Stepped implements Scheduler (stateless).
+func (EDF) Stepped(int, bool) {}

@@ -1,0 +1,161 @@
+package reqsched
+
+import (
+	"reflect"
+	"testing"
+
+	"hybrimoe/internal/stats"
+)
+
+// drain simulates the Session's drive of a scheduler: each Next picks a
+// request, one unit of decode work runs, and finished requests leave
+// the active slice (which closes up, as in the Session). It returns the
+// request IDs in completion order.
+func drain(t *testing.T, s Scheduler, active []Request) []int {
+	t.Helper()
+	var completed []int
+	for guard := 0; len(active) > 0; guard++ {
+		if guard > 10000 {
+			t.Fatal("scheduler failed to drain the active set")
+		}
+		idx := s.Next(0, active)
+		if idx < 0 || idx >= len(active) {
+			t.Fatalf("%s picked index %d of %d", s.Name(), idx, len(active))
+		}
+		active[idx].RemainingDecode--
+		removed := active[idx].RemainingDecode <= 0
+		if removed {
+			completed = append(completed, active[idx].ID)
+			active = append(active[:idx], active[idx+1:]...)
+		}
+		s.Stepped(idx, removed)
+	}
+	return completed
+}
+
+// fixedRequests draws a deterministic active set from a fixed seed:
+// distinct decode lengths, deadlines and priorities so every policy
+// has something to rank on.
+func fixedRequests(seed uint64) []Request {
+	rng := stats.NewRNG(seed)
+	reqs := make([]Request, 5)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:              i,
+			Seq:             i,
+			RemainingDecode: 1 + rng.Intn(8),
+			Deadline:        0.5 + rng.Float64(),
+			Priority:        rng.Intn(3),
+			Prefilled:       true,
+		}
+	}
+	return reqs
+}
+
+func TestFCFSDeterministicOrder(t *testing.T) {
+	// FCFS drains strictly in admission order regardless of lengths.
+	want := []int{0, 1, 2, 3, 4}
+	for run := 0; run < 2; run++ {
+		got := drain(t, NewFCFS(), fixedRequests(7))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("FCFS completion order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSJFDeterministicOrder(t *testing.T) {
+	reqs := fixedRequests(7)
+	// Expected order: ascending remaining decode, ties by priority desc
+	// then seq — computed independently of the scheduler.
+	want := make([]Request, len(reqs))
+	copy(want, reqs)
+	for i := 0; i < len(want); i++ {
+		for j := i + 1; j < len(want); j++ {
+			if sjfLess(want[j], want[i]) {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+	var wantIDs []int
+	for _, r := range want {
+		wantIDs = append(wantIDs, r.ID)
+	}
+	got := drain(t, NewSJF(), reqs)
+	if !reflect.DeepEqual(got, wantIDs) {
+		t.Fatalf("SJF completion order %v, want %v", got, wantIDs)
+	}
+	// Same seed, same order: the policy is deterministic.
+	again := drain(t, NewSJF(), fixedRequests(7))
+	if !reflect.DeepEqual(again, got) {
+		t.Fatalf("SJF order not deterministic: %v then %v", got, again)
+	}
+}
+
+func TestEDFDeterministicOrder(t *testing.T) {
+	reqs := fixedRequests(7)
+	want := make([]Request, len(reqs))
+	copy(want, reqs)
+	for i := 0; i < len(want); i++ {
+		for j := i + 1; j < len(want); j++ {
+			if edfLess(want[j], want[i]) {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+	var wantIDs []int
+	for _, r := range want {
+		wantIDs = append(wantIDs, r.ID)
+	}
+	got := drain(t, NewEDF(), reqs)
+	if !reflect.DeepEqual(got, wantIDs) {
+		t.Fatalf("EDF completion order %v, want %v", got, wantIDs)
+	}
+	again := drain(t, NewEDF(), fixedRequests(7))
+	if !reflect.DeepEqual(again, got) {
+		t.Fatalf("EDF order not deterministic: %v then %v", got, again)
+	}
+}
+
+// TestEDFNoDeadlineSortsLast pins the missing-deadline contract: a
+// request without a deadline never preempts a deadlined one.
+func TestEDFNoDeadlineSortsLast(t *testing.T) {
+	active := []Request{
+		{ID: 0, Seq: 0, RemainingDecode: 1},                 // no deadline
+		{ID: 1, Seq: 1, RemainingDecode: 1, Deadline: 9.0},  // late deadline
+		{ID: 2, Seq: 2, RemainingDecode: 1, Deadline: 0.25}, // urgent
+	}
+	got := drain(t, NewEDF(), active)
+	if want := []int{2, 1, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("EDF order %v, want %v", got, want)
+	}
+}
+
+// TestRoundRobinCursorSemantics pins the exact historical Session
+// behaviour: cycle one step each, hold the cursor in place when the
+// stepped request finishes (the slice closed up), wrap at the end.
+func TestRoundRobinCursorSemantics(t *testing.T) {
+	active := []Request{
+		{ID: 0, Seq: 0, RemainingDecode: 1},
+		{ID: 1, Seq: 1, RemainingDecode: 2},
+		{ID: 2, Seq: 2, RemainingDecode: 2},
+	}
+	rr := NewRoundRobin()
+	var stepOrder []int
+	for len(active) > 0 {
+		idx := rr.Next(0, active)
+		stepOrder = append(stepOrder, active[idx].ID)
+		active[idx].RemainingDecode--
+		removed := active[idx].RemainingDecode <= 0
+		if removed {
+			active = append(active[:idx], active[idx+1:]...)
+		}
+		rr.Stepped(idx, removed)
+	}
+	// Step 0: req 0 (finishes, cursor stays at 0 → now req 1);
+	// step 1: req 1; step 2: req 2 (wrap logic untouched); then the
+	// remaining steps alternate until both drain.
+	want := []int{0, 1, 2, 1, 2}
+	if !reflect.DeepEqual(stepOrder, want) {
+		t.Fatalf("round-robin step order %v, want %v", stepOrder, want)
+	}
+}

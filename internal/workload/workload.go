@@ -118,12 +118,22 @@ func (d Dataset) SampleBucketed(rng *stats.RNG, n int) map[int]int {
 }
 
 // Request is one serving request: a prompt to prefill and a number of
-// tokens to decode.
+// tokens to decode, plus the scheduling metadata request-level policies
+// rank on.
 type Request struct {
 	ID           int
 	Dataset      string
 	PromptTokens int
 	DecodeTokens int
+	// Priority ranks the request when schedulers break ties and when
+	// admission controllers choose what to shed; higher is more urgent.
+	// 0 is the default.
+	Priority int
+	// Deadline is the absolute simulation-clock completion target in
+	// seconds. 0 means no deadline: deadline-aware schedulers serve the
+	// request after every deadlined one, and violation accounting skips
+	// it.
+	Deadline float64
 }
 
 // Stream generates a deterministic request sequence mixing datasets.
@@ -167,4 +177,22 @@ func (s *Stream) NextN(n int) []Request {
 		out[i] = s.Next()
 	}
 	return out
+}
+
+// AssignDeadlines gives every request a completion deadline proportional
+// to its size: base + perToken × (prompt + decode) seconds, the shape of
+// a per-token latency SLO. Larger requests get proportionally more time,
+// so deadline order differs from plain size order only through base.
+// Negative parameters panic; requests already carrying a deadline keep
+// it.
+func AssignDeadlines(reqs []Request, base, perToken float64) {
+	if base < 0 || perToken < 0 {
+		panic(fmt.Sprintf("workload: negative deadline parameters base=%v perToken=%v", base, perToken))
+	}
+	for i := range reqs {
+		if reqs[i].Deadline != 0 {
+			continue
+		}
+		reqs[i].Deadline = base + perToken*float64(reqs[i].PromptTokens+reqs[i].DecodeTokens)
+	}
 }

@@ -157,6 +157,34 @@ func TestBucketMonotoneQuick(t *testing.T) {
 	}
 }
 
+func TestAssignDeadlines(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, PromptTokens: 10, DecodeTokens: 5},
+		{ID: 1, PromptTokens: 100, DecodeTokens: 50},
+		{ID: 2, PromptTokens: 1, DecodeTokens: 1, Deadline: 0.125},
+	}
+	AssignDeadlines(reqs, 2, 0.01)
+	if want := 2 + 0.01*15; reqs[0].Deadline != want {
+		t.Fatalf("request 0 deadline %v, want %v", reqs[0].Deadline, want)
+	}
+	if reqs[0].Deadline >= reqs[1].Deadline {
+		t.Fatalf("deadline not growing with size: %v then %v", reqs[0].Deadline, reqs[1].Deadline)
+	}
+	// A pre-set deadline is preserved, not overwritten.
+	if reqs[2].Deadline != 0.125 {
+		t.Fatalf("explicit deadline overwritten: %v", reqs[2].Deadline)
+	}
+}
+
+func TestAssignDeadlinesPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative deadline parameters should panic")
+		}
+	}()
+	AssignDeadlines([]Request{{}}, -1, 0)
+}
+
 func TestDecodeLengthMeanApproximatesDataset(t *testing.T) {
 	s := NewStream(13, MTBench())
 	var acc stats.Running
