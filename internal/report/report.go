@@ -5,6 +5,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"hybrimoe/internal/stats"
@@ -39,6 +40,56 @@ func Latencies(xs []float64) LatencyStats {
 func (l LatencyStats) String() string {
 	return fmt.Sprintf("n=%d mean=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs",
 		l.N, l.Mean, l.P50, l.P95, l.P99)
+}
+
+// Live accumulates latency observations for repeated in-flight quantile
+// queries: the sample is kept sorted by binary-search insertion and the
+// sum runs alongside, so each Stats call reads percentiles directly
+// instead of re-sorting the whole history — the accumulator admission
+// controllers poll once per serving step. Live and Latencies agree
+// exactly on the same observations (same interpolation).
+type Live struct {
+	xs  []float64 // sorted ascending
+	sum float64
+}
+
+// Add folds in one observation.
+func (l *Live) Add(x float64) {
+	i := sort.SearchFloat64s(l.xs, x)
+	l.xs = append(l.xs, 0)
+	copy(l.xs[i+1:], l.xs[i:])
+	l.xs[i] = x
+	l.sum += x
+}
+
+// Stats summarises the observations so far; the zero value (no
+// observations) yields the zero LatencyStats, as Latencies does.
+func (l *Live) Stats() LatencyStats {
+	if len(l.xs) == 0 {
+		return LatencyStats{}
+	}
+	return LatencyStats{
+		N:    len(l.xs),
+		Mean: l.sum / float64(len(l.xs)),
+		P50:  quantileSorted(l.xs, 0.50),
+		P95:  quantileSorted(l.xs, 0.95),
+		P99:  quantileSorted(l.xs, 0.99),
+	}
+}
+
+// quantileSorted interpolates the q-th quantile of a sorted non-empty
+// sample, mirroring stats.Sample.Quantile so Live and Latencies agree.
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 {
+		return xs[lo]
+	}
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
 }
 
 // Table accumulates rows with a fixed header and renders them aligned.

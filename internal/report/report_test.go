@@ -169,3 +169,32 @@ func TestLatenciesEmpty(t *testing.T) {
 		t.Fatalf("empty sample should yield zero stats, got %+v", l)
 	}
 }
+
+// TestLiveMatchesLatencies pins the incremental accumulator's contract:
+// after any insertion order, Live.Stats equals Latencies over the same
+// observations (same interpolation), and the zero value matches the
+// empty-sample zero LatencyStats.
+func TestLiveMatchesLatencies(t *testing.T) {
+	var live Live
+	if live.Stats() != (LatencyStats{}) {
+		t.Fatalf("zero-value Live = %+v, want zero stats", live.Stats())
+	}
+	// Deterministic scrambled insertion order with duplicates.
+	var xs []float64
+	for i := 0; i < 57; i++ {
+		x := float64((i*37)%19) / 7
+		live.Add(x)
+		xs = append(xs, x)
+		want := Latencies(xs)
+		got := live.Stats()
+		// Percentiles read identical sorted values and must match
+		// exactly; the running mean may differ from the batch mean by
+		// summation order, within float tolerance.
+		if got.N != want.N || got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+			t.Fatalf("after %d adds: Live %+v != Latencies %+v", i+1, got, want)
+		}
+		if diff := got.Mean - want.Mean; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("after %d adds: mean %v != %v", i+1, got.Mean, want.Mean)
+		}
+	}
+}
