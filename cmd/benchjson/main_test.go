@@ -67,6 +67,151 @@ func TestParseRejectsEmpty(t *testing.T) {
 	}
 }
 
+func mkOutput(benches ...Benchmark) Output { return Output{Benchmarks: benches} }
+
+func bench(pkg, name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Runs: 1, Metrics: metrics}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkX-8", map[string]float64{"ns/op": 100}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkX-8", map[string]float64{"ns/op": 120}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 1 {
+		t.Fatalf("a +20%% ns/op move must regress at threshold 15, got %d:\n%s", regressions, table)
+	}
+	if !strings.Contains(table, "**regressed**") || !strings.Contains(table, "+20.0%") {
+		t.Fatalf("table does not flag the regression:\n%s", table)
+	}
+	// Under the threshold the same move passes.
+	if _, r := diff(oldO, newO, 25); r != 0 {
+		t.Fatalf("a +20%% move regressed at threshold 25: %d", r)
+	}
+}
+
+// TestDiffCustomUnitDirection pins the direction rule: custom
+// higher-is-better units (speedups) regress when they DROP, and a
+// faster ns/op is an improvement, never a regression.
+func TestDiffCustomUnitDirection(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkFig7-8",
+		map[string]float64{"ns/op": 100, "speedup-vs-ktrans": 1.4}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkFig7-8",
+		map[string]float64{"ns/op": 50, "speedup-vs-ktrans": 1.0}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 1 {
+		t.Fatalf("speedup 1.4 -> 1.0 must regress, halved ns/op must not: %d\n%s", regressions, table)
+	}
+	if !strings.Contains(table, "improved") {
+		t.Fatalf("halved ns/op not reported as improved:\n%s", table)
+	}
+}
+
+// TestDiffUngatesMemoryMetrics pins that B/op and allocs/op ride along
+// in artifacts but never gate: a -benchtime=1x allocation blip must not
+// fail CI.
+func TestDiffUngatesMemoryMetrics(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "B/op": 10, "allocs/op": 1}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "B/op": 900, "allocs/op": 50}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 0 {
+		t.Fatalf("memory metrics gated: %d regressions\n%s", regressions, table)
+	}
+	if strings.Contains(table, "B/op") {
+		t.Fatalf("ungated unit rendered:\n%s", table)
+	}
+}
+
+// TestDiffNewAndRemovedBenchmarks pins that appearing or disappearing
+// benchmarks are reported but never regress — a rename must not fail
+// the trend gate.
+func TestDiffNewAndRemovedBenchmarks(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkGone", map[string]float64{"ns/op": 100}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkFresh", map[string]float64{"ns/op": 100}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 0 {
+		t.Fatalf("new/removed benchmarks regressed: %d\n%s", regressions, table)
+	}
+	if !strings.Contains(table, "— | new |") || !strings.Contains(table, "— | removed |") {
+		t.Fatalf("new/removed rows missing:\n%s", table)
+	}
+}
+
+// TestDiffMatchesAcrossGOMAXPROCS pins the key normalisation: the same
+// benchmark run on 4- and 8-core runners still pairs up.
+func TestDiffMatchesAcrossGOMAXPROCS(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkX-4", map[string]float64{"ns/op": 100}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkX-8", map[string]float64{"ns/op": 130}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 1 {
+		t.Fatalf("GOMAXPROCS suffix broke matching (%d regressions):\n%s", regressions, table)
+	}
+	// Sub-benchmark names keep their non-numeric suffixes.
+	if benchKey(bench("p", "BenchmarkReqSchedNext/edf", nil)) != "p BenchmarkReqSchedNext/edf" {
+		t.Fatal("non-numeric suffix must survive key normalisation")
+	}
+}
+
+// TestDiffCostRatioDirection pins the override list: greedy/optimal is
+// a makespan cost ratio (optimal = 1), so a DROP is an improvement and
+// a rise past the threshold regresses — the opposite of other custom
+// units.
+func TestDiffCostRatioDirection(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkSchedulerGreedyVsExhaustive-8",
+		map[string]float64{"greedy/optimal": 1.4}))
+	improved := mkOutput(bench("hybrimoe", "BenchmarkSchedulerGreedyVsExhaustive-8",
+		map[string]float64{"greedy/optimal": 1.1}))
+	if table, r := diff(oldO, improved, 15); r != 0 {
+		t.Fatalf("greedy/optimal 1.4 -> 1.1 is an improvement, got %d regressions:\n%s", r, table)
+	}
+	if table, r := diff(improved, oldO, 15); r != 1 {
+		t.Fatalf("greedy/optimal 1.1 -> 1.4 must regress, got %d:\n%s", r, table)
+	}
+}
+
+// TestDiffNumericSuffixNamesNeverCrossPair pins the matching order:
+// sub-benchmarks whose names end in digits (budget-128 vs budget-256)
+// pair by exact name, and the stripped-key fallback refuses ambiguous
+// candidates instead of silently diffing one variant against another.
+func TestDiffNumericSuffixNamesNeverCrossPair(t *testing.T) {
+	oldO := mkOutput(
+		bench("hybrimoe", "BenchmarkX/budget-128", map[string]float64{"ns/op": 100}),
+		bench("hybrimoe", "BenchmarkX/budget-256", map[string]float64{"ns/op": 200}))
+	newO := mkOutput(
+		bench("hybrimoe", "BenchmarkX/budget-128", map[string]float64{"ns/op": 100}),
+		bench("hybrimoe", "BenchmarkX/budget-256", map[string]float64{"ns/op": 200}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 0 || strings.Contains(table, "— | new |") || strings.Contains(table, "— | removed |") {
+		t.Fatalf("exact names cross-paired or dropped:\n%s", table)
+	}
+	if !strings.Contains(table, "BenchmarkX/budget-128") || !strings.Contains(table, "BenchmarkX/budget-256") {
+		t.Fatalf("rows must display exact benchmark names:\n%s", table)
+	}
+	// With only one variant on each side the stripped keys collide on
+	// "BenchmarkX/budget"; the ambiguity-free single candidate still
+	// must not pair 128 against 256 when both stripped keys differ, and
+	// a genuinely ambiguous fallback reports new/removed, not a bogus
+	// comparison.
+	ambOld := mkOutput(
+		bench("hybrimoe", "BenchmarkX/budget-128", map[string]float64{"ns/op": 100}),
+		bench("hybrimoe", "BenchmarkX/budget-256", map[string]float64{"ns/op": 200}))
+	ambNew := mkOutput(bench("hybrimoe", "BenchmarkX/budget-512", map[string]float64{"ns/op": 400}))
+	table, regressions = diff(ambOld, ambNew, 15)
+	if regressions != 0 || !strings.Contains(table, "— | new |") {
+		t.Fatalf("ambiguous stripped match produced a comparison:\n%s", table)
+	}
+}
+
+// TestDiffZeroBaseline pins the divide-by-zero guard: a metric that was
+// 0 in the parent is incomparable, not a crash or a spurious fail.
+func TestDiffZeroBaseline(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 0}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 50}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 0 || !strings.Contains(table, "incomparable") {
+		t.Fatalf("zero baseline mishandled (%d regressions):\n%s", regressions, table)
+	}
+}
+
 func TestParseSkipsMalformedLines(t *testing.T) {
 	in := `BenchmarkBroken no-numbers here
 BenchmarkOK 	 3	 9 ns/op

@@ -17,6 +17,8 @@
 // Serve flags (see `hybrimoe serve -h` for the full set):
 //
 //	-reqsched NAME      request scheduler: fcfs, round-robin, sjf, edf
+//	-batch NAME         batch former: none, greedy, phase-aware
+//	-batch-budget N     token budget per merged iteration
 //	-slo-ttft-p95 SECS  p95 TTFT target; >0 enables SLO admission control
 //	-slo-tbt-p95 SECS   p95 TBT target; >0 enables SLO admission control
 //	-deadline SECS      per-token deadline budget; >0 stamps completion deadlines
@@ -122,6 +124,8 @@ func run(args []string) error {
 		concurrent := fs.Int("concurrent", 2, "requests served at once (phases interleave)")
 		decodeCap := fs.Int("decode-cap", 16, "cap on decode tokens per request")
 		reqSched := fs.String("reqsched", "round-robin", "request scheduler: "+strings.Join(reqsched.Names(), ", "))
+		batch := fs.String("batch", "none", "batch former merging concurrent iterations: "+strings.Join(reqsched.BatchNames(), ", "))
+		batchBudget := fs.Int("batch-budget", exp.BatchBudget, "token budget per merged iteration")
 		sloTTFT := fs.Float64("slo-ttft-p95", 0, "p95 TTFT target in seconds; >0 enables SLO admission control")
 		sloTBT := fs.Float64("slo-tbt-p95", 0, "p95 TBT target in seconds; >0 enables SLO admission control")
 		deadline := fs.Float64("deadline", 0, "per-token completion-deadline budget in seconds; >0 stamps deadlines")
@@ -135,7 +139,8 @@ func run(args []string) error {
 		sc := serveConfig{
 			cfg: cfg, ratio: *ratio, seed: *seed,
 			requests: *requests, concurrent: *concurrent, decodeCap: *decodeCap,
-			reqSched: *reqSched, sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
+			reqSched: *reqSched, batch: *batch, batchBudget: *batchBudget,
+			sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
 		}
 		return serve(sc)
 
@@ -153,6 +158,8 @@ type serveConfig struct {
 	requests, concurrent int
 	decodeCap            int
 	reqSched             string
+	batch                string
+	batchBudget          int
 	sloTTFT, sloTBT      float64
 	deadline             float64
 }
@@ -178,6 +185,7 @@ func serve(sc serveConfig) error {
 		engine.WithCacheRatio(sc.ratio),
 		engine.WithSeed(sc.seed),
 		engine.WithRequestScheduler(sc.reqSched),
+		engine.WithBatchPolicy(sc.batch, sc.batchBudget),
 	}
 	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
 	if admitting {
@@ -202,6 +210,9 @@ func serve(sc serveConfig) error {
 
 	fmt.Printf("serving %d requests on %s (%.0f%% cache, ≤%d concurrent, %s scheduling",
 		len(reqs), sc.cfg.Name, sc.ratio*100, sc.concurrent, sc.reqSched)
+	if sc.batch != "none" {
+		fmt.Printf(", %s batching ≤%d tokens", sc.batch, sc.batchBudget)
+	}
 	if admitting {
 		fmt.Printf(", SLO p95 TTFT %.3gs / TBT %.3gs", sc.sloTTFT, sc.sloTBT)
 	}
@@ -241,6 +252,15 @@ func serve(sc serveConfig) error {
 	})
 
 	fmt.Printf("\nsteps: %d   cache hit rate: %.1f%%\n", s.Steps(), 100*e.Cache().HitRate())
+	if sc.batch != "none" {
+		computeSteps := len(ttfts) + len(tbts)
+		meanBatch := 0.0
+		if s.Batches() > 0 {
+			meanBatch = float64(computeSteps) / float64(s.Batches())
+		}
+		fmt.Printf("batching: %d iterations for %d request-steps (mean batch %.2f)\n",
+			s.Batches(), computeSteps, meanBatch)
+	}
 	if admitting || sc.deadline > 0 {
 		fmt.Printf("admission: %d shed, %d deferral verdicts   deadline violations: %d\n",
 			s.Shed(), s.Deferred(), violations)

@@ -125,6 +125,37 @@ func main() {
 	fmt.Printf("shed %d, deferral verdicts %d, deadline violations %d\n",
 		s2.Shed(), s2.Deferred(), violations)
 
+	// The same stream under continuous batching: the phase-aware batch
+	// former merges the in-flight requests' decode steps into single
+	// engine iterations (prefills batch separately, so TBT never pays a
+	// prefill-length stall), and every event reports which merged
+	// iteration it rode in via Batch/BatchSize.
+	e3, err := engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+		engine.WithCacheRatio(0.25), engine.WithSeed(42),
+		engine.WithBatchPolicy("phase-aware", 256))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s3 := e3.NewSession(engine.WithMaxConcurrent(4))
+	s3.Submit(reqs...)
+
+	fmt.Println("\nphase-aware continuous batching (4 concurrent, 256-token budget):")
+	var batchedTBTs []float64
+	decoded := 0
+	s3.Run(func(ev engine.StepEvent) {
+		if ev.Phase == engine.PhaseDecode {
+			batchedTBTs = append(batchedTBTs, ev.Latency)
+			decoded += ev.Tokens
+		}
+		if ev.Done && ev.BatchSize > 1 {
+			fmt.Printf("  t=%7.3fs  req %2d  done in a %d-wide batch (iteration %d)\n",
+				ev.End, ev.Request, ev.BatchSize, ev.Batch)
+		}
+	})
+	fmt.Printf("%d decode tokens over %d merged iterations (mean batch %.2f)\n",
+		decoded, s3.Batches(), float64(s3.Steps())/float64(s3.Batches()))
+	fmt.Printf("TBT   %s\n", report.Latencies(batchedTBTs))
+
 	// End-to-end serving comparison across frameworks, with percentiles.
 	fmt.Println()
 	p := exp.DefaultParams()
@@ -135,4 +166,9 @@ func main() {
 	// goodput, SLO violation rate and shed fraction side-by-side.
 	fmt.Println()
 	exp.ServingPolicyStudy(p, 12, 0.25).Render(os.Stdout)
+
+	// Batch formers × concurrency: decode throughput vs the TBT each
+	// policy charges for the sharing.
+	fmt.Println()
+	exp.BatchingStudy(p, 12, 0.25).Render(os.Stdout)
 }

@@ -224,7 +224,17 @@ func (e *Engine) attentionDevice(layer int) hw.Device {
 
 // runStep executes one forward pass (all layers) for the given
 // activations and token/context sizes, returning its latency.
-func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int) float64 {
+// perLoadLookups marks a merged pure-decode iteration: cache lookups
+// (and the policy touches they carry) are then recorded once per token
+// routed to an expert — the load, i.e. the batch width — rather than
+// once per distinct expert, so hit/miss totals and policy state stay
+// conserved against the equivalent run of unbatched decode steps while
+// the weights themselves — the compute and transfer the plan schedules
+// — are still touched once per expert, which is where batching wins.
+// Iterations containing prefill work keep the prefill convention (one
+// lookup per distinct expert per pass) whether merged or solo, so
+// hit rates stay comparable across batch policies.
+func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int, perLoadLookups bool) float64 {
 	stepStart := e.clock
 	e.curTokens = tokens
 	for _, act := range acts {
@@ -253,7 +263,17 @@ func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int) floa
 		active := make(map[moe.ExpertID]bool)
 		for _, id := range act.ActiveExperts() {
 			active[id] = true
-			e.cache.Lookup(id) // hit/miss statistics
+			lookups := 1
+			if perLoadLookups {
+				// One lookup per routed token — the load is the batch
+				// width here, bounded by the concurrency limit, and the
+				// repeated policy touches mirror the ones the batched
+				// requests' separate steps would have made.
+				lookups = act.Loads[id.Index]
+			}
+			for n := 0; n < lookups; n++ {
+				e.cache.Lookup(id) // hit/miss statistics
+			}
 		}
 		tasks := sched.TasksFromLoads(e.cfg, act.Layer, act.Loads, e.isCached)
 		res := sched.Resources{

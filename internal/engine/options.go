@@ -25,6 +25,8 @@ type settings struct {
 	validatePlans bool
 	prefetcher    prefetch.Prefetcher
 	reqSched      string
+	batchPolicy   string
+	batchBudget   int
 	admission     AdmissionPolicy
 }
 
@@ -34,6 +36,7 @@ func defaultSettings() settings {
 		context:     512,
 		warmupIters: 32,
 		reqSched:    "round-robin",
+		batchPolicy: "none",
 	}
 }
 
@@ -114,6 +117,25 @@ func WithRequestScheduler(name string) Option {
 			return err
 		}
 		s.reqSched = name
+		return nil
+	}
+}
+
+// WithBatchPolicy selects the batch former the engine's Sessions merge
+// concurrent requests' iterations with, by reqsched batch-registry name
+// plus a token budget per merged iteration ("none" when unset — every
+// step advances one request, the historical Session behaviour; "greedy"
+// packs any phases up to the budget, "phase-aware" keeps decode batches
+// free of prefill work). Unknown names and budgets the policy rejects
+// (the packing policies need at least 1 token) error eagerly. Each
+// Session builds its own policy instance.
+func WithBatchPolicy(name string, budget int) Option {
+	return func(s *settings) error {
+		if _, err := reqsched.NewBatch(name, budget); err != nil {
+			return err
+		}
+		s.batchPolicy = name
+		s.batchBudget = budget
 		return nil
 	}
 }

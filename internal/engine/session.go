@@ -74,6 +74,15 @@ type StepEvent struct {
 	// so consumers can count SLO violations — End past Deadline on the
 	// Done event — without a side table.
 	Deadline float64
+	// Batch is the 1-based ordinal of the merged engine iteration this
+	// step ran in. Every compute event carries one; the events of a
+	// multi-request batch share it (and their Start/End bounds).
+	// Shed/deferral records, which run nothing, leave it 0.
+	Batch int
+	// BatchSize is how many requests advanced together in this event's
+	// iteration: 1 for a solo step, the batch width for a merged one,
+	// 0 on shed/deferral records.
+	BatchSize int
 	// Done marks the request's final step (or its shed record).
 	Done bool
 }
@@ -82,9 +91,12 @@ type StepEvent struct {
 type SessionOption func(*Session)
 
 // WithMaxConcurrent admits up to n requests at once; their prefill and
-// decode steps interleave round-robin, sharing the expert cache, the
-// way a continuously-batched server mixes phases. The default of 1
-// serves requests strictly in order. n < 1 panics.
+// decode steps interleave in the order the engine's request scheduler
+// picks (WithRequestScheduler; round-robin when unset), sharing the
+// expert cache, the way a continuously-batched server mixes phases.
+// With a batch former installed (WithBatchPolicy) the in-flight
+// requests may additionally merge into one engine iteration per step.
+// The default of 1 serves requests strictly in order. n < 1 panics.
 func WithMaxConcurrent(n int) SessionOption {
 	if n < 1 {
 		panic(fmt.Sprintf("engine: WithMaxConcurrent(%d) must be at least 1", n))
@@ -119,13 +131,21 @@ type Session struct {
 	pending       []*sessionRequest
 	active        []*sessionRequest
 	sched         reqsched.Scheduler
+	batch         reqsched.BatchPolicy
 	adm           AdmissionPolicy
 	maxConcurrent int
 	steps         int
 	nextSeq       int
+	// batches counts merged engine iterations (solo steps included);
+	// StepEvent.Batch carries the ordinal.
+	batches int
 	// admEvents queues shed/deferral records for emission, one per Step
 	// call, ahead of compute steps.
 	admEvents []StepEvent
+	// batchEvents queues the remaining events of an already-executed
+	// merged iteration; Step drains them one per call before running
+	// more compute.
+	batchEvents []StepEvent
 	// ttfts and tbts accumulate the live latency observations admission
 	// snapshots quantile over (sorted incrementally, queried per step).
 	ttfts, tbts report.Live
@@ -146,7 +166,12 @@ func (e *Engine) NewSession(opts ...SessionOption) *Session {
 		// a corrupted settings struct reaches here.
 		panic(fmt.Sprintf("engine: request scheduler vanished from registry: %v", err))
 	}
-	s := &Session{e: e, sched: rs, adm: e.set.admission, maxConcurrent: 1}
+	bp, err := reqsched.NewBatch(e.set.batchPolicy, e.set.batchBudget)
+	if err != nil {
+		// WithBatchPolicy validated name and budget at construction.
+		panic(fmt.Sprintf("engine: batch policy vanished from registry: %v", err))
+	}
+	s := &Session{e: e, sched: rs, batch: bp, adm: e.set.admission, maxConcurrent: 1}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -181,6 +206,16 @@ func (s *Session) Deferred() int { return s.deferred }
 
 // Scheduler reports the request-scheduling policy driving this session.
 func (s *Session) Scheduler() string { return s.sched.Name() }
+
+// Batcher reports the batch-forming policy merging this session's
+// iterations ("none" when unbatched).
+func (s *Session) Batcher() string { return s.batch.Name() }
+
+// Batches reports how many engine iterations the session has run (a
+// merged multi-request iteration counts once; its events all carry the
+// same Batch ordinal). Steps()/Batches() exceeds 1 exactly when
+// batching merged work.
+func (s *Session) Batches() int { return s.batches }
 
 // snapshot assembles the live-quantile view an admission decision sees.
 func (s *Session) snapshot() SLOSnapshot {
@@ -271,10 +306,18 @@ func (s *Session) schedView() []reqsched.Request {
 }
 
 // Step runs one admission pass and then one engine iteration for the
-// request the scheduler picks, returning its event — or a queued
-// shed/deferral record, one per call, ahead of compute. ok is false
-// when every submitted request has finished or been shed.
+// batch the batch former builds around the scheduler's pick, returning
+// the first of its events — or a queued shed/deferral record, or the
+// next event of an already-executed merged iteration, one per call,
+// ahead of new compute. ok is false when every submitted request has
+// finished or been shed.
 func (s *Session) Step() (ev StepEvent, ok bool) {
+	if len(s.batchEvents) > 0 {
+		ev = s.batchEvents[0]
+		s.batchEvents = s.batchEvents[1:]
+		s.steps++
+		return ev, true
+	}
 	s.admit()
 	if len(s.admEvents) > 0 {
 		ev = s.admEvents[0]
@@ -285,14 +328,58 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 	if len(s.active) == 0 {
 		return StepEvent{}, false
 	}
-	idx := s.sched.Next(s.e.clock, s.schedView())
+	view := s.schedView()
+	idx := s.sched.Next(s.e.clock, view)
 	if idx < 0 || idx >= len(s.active) {
 		panic(fmt.Sprintf("engine: request scheduler %q picked index %d of %d active",
 			s.sched.Name(), idx, len(s.active)))
 	}
+	batch := s.batch.Form(s.e.clock, view, idx)
+	s.checkBatch(batch, idx)
+	s.batches++
+	if len(batch) == 1 {
+		return s.stepSolo(idx), true
+	}
+	events := s.runBatch(batch, idx)
+	s.batchEvents = events[1:]
+	s.steps++
+	return events[0], true
+}
+
+// checkBatch validates a batch former's output the way scheduler picks
+// are validated: programming errors in a policy panic immediately
+// instead of corrupting the accounting.
+func (s *Session) checkBatch(batch []int, lead int) {
+	if len(batch) == 0 {
+		panic(fmt.Sprintf("engine: batch policy %q formed an empty batch", s.batch.Name()))
+	}
+	seen := make(map[int]bool, len(batch))
+	hasLead := false
+	for _, i := range batch {
+		if i < 0 || i >= len(s.active) {
+			panic(fmt.Sprintf("engine: batch policy %q picked index %d of %d active",
+				s.batch.Name(), i, len(s.active)))
+		}
+		if seen[i] {
+			panic(fmt.Sprintf("engine: batch policy %q picked index %d twice", s.batch.Name(), i))
+		}
+		seen[i] = true
+		hasLead = hasLead || i == lead
+	}
+	if !hasLead {
+		panic(fmt.Sprintf("engine: batch policy %q dropped the scheduled lead %d from batch %v",
+			s.batch.Name(), lead, batch))
+	}
+}
+
+// stepSolo runs one engine iteration for a single request — the
+// historical Session loop, which batch policy "none" (and any
+// single-member batch) reproduces event-for-event.
+func (s *Session) stepSolo(idx int) StepEvent {
 	r := s.active[idx]
 
-	ev = StepEvent{Request: r.req.ID, Start: s.e.clock, Deadline: r.req.Deadline}
+	ev := StepEvent{Request: r.req.ID, Start: s.e.clock, Deadline: r.req.Deadline,
+		Batch: s.batches, BatchSize: 1}
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
 	cpu0, gpu0, link0 := s.e.cpuBusy, s.e.gpuBusy, s.e.linkBusy
 
@@ -301,7 +388,7 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 		ev.Tokens = r.req.PromptTokens
 		s.e.scheduler = s.e.prefillSched
 		acts := trace.PrefillStep(s.e.gen, r.req.PromptTokens)
-		ev.Latency = s.e.runStep(acts, r.req.PromptTokens, r.req.PromptTokens)
+		ev.Latency = s.e.runStep(acts, r.req.PromptTokens, r.req.PromptTokens, false)
 		r.prefilled = true
 		if s.adm != nil {
 			// Only admission snapshots read the accumulators; skip the
@@ -314,7 +401,7 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 		ev.Tokens = 1
 		s.e.scheduler = s.e.decodeSched
 		acts := trace.DecodeStep(s.e.gen)
-		ev.Latency = s.e.runStep(acts, 1, s.contextFor(r))
+		ev.Latency = s.e.runStep(acts, 1, s.contextFor(r), false)
 		r.decoded++
 		if s.adm != nil {
 			s.tbts.Add(ev.Latency)
@@ -335,7 +422,125 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 		s.active = append(s.active[:idx], s.active[idx+1:]...)
 	}
 	s.sched.Stepped(idx, ev.Done)
-	return ev, true
+	return ev
+}
+
+// runBatch executes one merged engine iteration for a multi-request
+// batch and returns one StepEvent per member, in the batch former's
+// order. The batch runs as a single forward: a pure-decode batch shares
+// one trace.DecodeStep activation pass over the union of experts (one
+// token per request through each), while a batch containing prefill
+// work routes its total token count through one prefill-shaped pass.
+// Cache hits/misses and device busy time are accounted once for the
+// iteration, then attributed to members by token share (exactly — the
+// telescoped integer splits sum to the iteration totals), and every
+// member's event carries the full iteration latency as its TTFT/TBT
+// observation, the latency a batched server's request actually sees.
+func (s *Session) runBatch(batch []int, lead int) []StepEvent {
+	members := make([]*sessionRequest, len(batch))
+	tokens := make([]int, len(batch))
+	total := 0
+	allDecode := true
+	context := 0
+	for i, idx := range batch {
+		r := s.active[idx]
+		members[i] = r
+		decoding := r.prefilled || r.req.PromptTokens <= 0
+		if decoding {
+			tokens[i] = 1
+			if c := s.contextFor(r); c > context {
+				context = c
+			}
+		} else {
+			tokens[i] = r.req.PromptTokens
+			allDecode = false
+			if r.req.PromptTokens > context {
+				context = r.req.PromptTokens
+			}
+		}
+		total += tokens[i]
+	}
+
+	start := s.e.clock
+	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
+	cpu0, gpu0, link0 := s.e.cpuBusy, s.e.gpuBusy, s.e.linkBusy
+
+	var acts []trace.LayerActivation
+	if allDecode {
+		s.e.scheduler = s.e.decodeSched
+		acts = trace.BatchDecodeStep(s.e.gen, len(batch))
+	} else {
+		s.e.scheduler = s.e.prefillSched
+		acts = trace.PrefillStep(s.e.gen, total)
+	}
+	// Pure-decode batches count cache lookups per routed token so
+	// hits+misses conserve against the unbatched run; prefill-bearing
+	// batches are one prefill-shaped pass and keep prefill's
+	// per-distinct-expert convention.
+	latency := s.e.runStep(acts, total, context, allDecode)
+
+	hits := s.e.cache.Hits() - hits0
+	misses := s.e.cache.Misses() - misses0
+	cpu := maxF(0, s.e.cpuBusy-cpu0)
+	gpu := maxF(0, s.e.gpuBusy-gpu0)
+	link := maxF(0, s.e.linkBusy-link0)
+	end := s.e.clock
+	s.e.stats.CacheHitRate = s.e.cache.HitRate()
+
+	events := make([]StepEvent, len(batch))
+	cum := 0
+	for i, r := range members {
+		prev, next := cum, cum+tokens[i]
+		cum = next
+		ev := StepEvent{
+			Request:  r.req.ID,
+			Start:    start,
+			End:      end,
+			Latency:  latency,
+			Deadline: r.req.Deadline,
+			Batch:    s.batches,
+			// Token-share attribution, telescoped so member deltas sum
+			// exactly to the iteration totals.
+			Hits:      hits*int64(next)/int64(total) - hits*int64(prev)/int64(total),
+			Misses:    misses*int64(next)/int64(total) - misses*int64(prev)/int64(total),
+			CPUBusy:   cpu*float64(next)/float64(total) - cpu*float64(prev)/float64(total),
+			GPUBusy:   gpu*float64(next)/float64(total) - gpu*float64(prev)/float64(total),
+			LinkBusy:  link*float64(next)/float64(total) - link*float64(prev)/float64(total),
+			BatchSize: len(batch),
+		}
+		if !r.prefilled && r.req.PromptTokens > 0 {
+			ev.Phase = PhasePrefill
+			ev.Tokens = r.req.PromptTokens
+			r.prefilled = true
+			if s.adm != nil {
+				s.ttfts.Add(latency)
+			}
+		} else {
+			ev.Phase = PhaseDecode
+			ev.Index = r.decoded
+			ev.Tokens = 1
+			r.decoded++
+			if s.adm != nil {
+				s.tbts.Add(latency)
+			}
+		}
+		ev.Done = r.done()
+		events[i] = ev
+	}
+
+	leadDone := s.active[lead].done()
+	remaining := s.active[:0]
+	for _, r := range s.active {
+		if !r.done() {
+			remaining = append(remaining, r)
+		}
+	}
+	s.active = remaining
+	// The scheduler is told about its own pick, as in the solo path;
+	// batch co-members advancing alongside are invisible to it, the way
+	// cursor-style policies expect.
+	s.sched.Stepped(lead, leadDone)
+	return events
 }
 
 // contextFor reports the KV context length for a request's next decode

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/workload"
+)
+
+// collectEvents drains a fresh session over reqs and returns its events.
+func collectEvents(t *testing.T, seed uint64, conc int, reqs []workload.Request, extra ...Option) []StepEvent {
+	t.Helper()
+	e := newEngineOpts(t, seed, extra...)
+	s := e.NewSession(WithMaxConcurrent(conc))
+	s.Submit(reqs...)
+	var events []StepEvent
+	s.Run(func(ev StepEvent) { events = append(events, ev) })
+	return events
+}
+
+// TestBatchNoneIsIdentical pins the compatibility contract: an engine
+// with an explicit WithBatchPolicy("none", ...) emits an event stream
+// deep-equal to the default engine's — batch formation is a strict
+// superset of today's Session loop, field for field.
+func TestBatchNoneIsIdentical(t *testing.T) {
+	reqs := []workload.Request{
+		{ID: 0, PromptTokens: 32, DecodeTokens: 5},
+		{ID: 1, PromptTokens: 48, DecodeTokens: 3},
+		{ID: 2, DecodeTokens: 4},
+		{ID: 3, PromptTokens: 24, DecodeTokens: 2},
+	}
+	base := collectEvents(t, 300, 3, reqs)
+	explicit := collectEvents(t, 300, 3, reqs, WithBatchPolicy("none", 0))
+	if !reflect.DeepEqual(base, explicit) {
+		t.Fatalf("batch=none diverged from the default loop:\n default: %+v\nexplicit: %+v", base, explicit)
+	}
+	// Every compute event of the unbatched loop is a solo batch.
+	for _, ev := range base {
+		if ev.BatchSize != 1 || ev.Batch < 1 {
+			t.Fatalf("unbatched event with batch fields %d/%d: %+v", ev.Batch, ev.BatchSize, ev)
+		}
+	}
+}
+
+// TestBatchedSessionConservation pins the merged iteration's
+// accounting against the equivalent unbatched run on a decode-only
+// workload (where per-step lookup counts are workload-determined):
+// same total tokens, same total cache lookups (hits+misses), and the
+// same per-request Done events — batching reshapes iterations, never
+// loses or invents work.
+func TestBatchedSessionConservation(t *testing.T) {
+	mkReqs := func() []workload.Request {
+		return []workload.Request{
+			{ID: 0, DecodeTokens: 6},
+			{ID: 1, DecodeTokens: 3},
+			{ID: 2, DecodeTokens: 5},
+			{ID: 3, DecodeTokens: 2},
+		}
+	}
+	type totals struct {
+		tokens int
+		looks  int64
+		done   map[int]int
+	}
+	sum := func(events []StepEvent) totals {
+		tt := totals{done: map[int]int{}}
+		for _, ev := range events {
+			tt.tokens += ev.Tokens
+			tt.looks += ev.Hits + ev.Misses
+			if ev.Done {
+				tt.done[ev.Request]++
+			}
+		}
+		return tt
+	}
+	plain := sum(collectEvents(t, 301, 4, mkReqs()))
+	batched := sum(collectEvents(t, 301, 4, mkReqs(), WithBatchPolicy("greedy", 64)))
+
+	if plain.tokens != batched.tokens {
+		t.Fatalf("token conservation broken: plain %d, batched %d", plain.tokens, batched.tokens)
+	}
+	if plain.looks != batched.looks {
+		t.Fatalf("lookup conservation broken: plain hits+misses %d, batched %d", plain.looks, batched.looks)
+	}
+	if !reflect.DeepEqual(plain.done, batched.done) {
+		t.Fatalf("done-event conservation broken: plain %v, batched %v", plain.done, batched.done)
+	}
+	for id, n := range batched.done {
+		if n != 1 {
+			t.Fatalf("request %d emitted %d Done events", id, n)
+		}
+	}
+}
+
+// TestBatchedStepEventAttribution checks the merged iteration's event
+// shape: co-members share the Batch ordinal, Start/End bounds and the
+// iteration latency, and their attributed hits/misses/busy deltas sum
+// exactly to what the engine's counters moved by.
+func TestBatchedStepEventAttribution(t *testing.T) {
+	e := newEngineOpts(t, 302, WithBatchPolicy("greedy", 64))
+	s := e.NewSession(WithMaxConcurrent(4))
+	s.Submit(workload.Request{ID: 0, DecodeTokens: 4},
+		workload.Request{ID: 1, DecodeTokens: 4},
+		workload.Request{ID: 2, DecodeTokens: 4})
+	if s.Batcher() != "greedy" {
+		t.Fatalf("session batcher %q, want greedy", s.Batcher())
+	}
+
+	byBatch := map[int][]StepEvent{}
+	s.Run(func(ev StepEvent) { byBatch[ev.Batch] = append(byBatch[ev.Batch], ev) })
+	if s.Batches() >= s.Steps() {
+		t.Fatalf("no merged iterations: %d batches over %d steps", s.Batches(), s.Steps())
+	}
+
+	merged := 0
+	var looks int64
+	for ord, events := range byBatch {
+		if len(events) != events[0].BatchSize {
+			t.Fatalf("batch %d emitted %d events for BatchSize %d", ord, len(events), events[0].BatchSize)
+		}
+		var h, m int64
+		var cpu, gpu, link float64
+		for _, ev := range events {
+			if ev.Start != events[0].Start || ev.End != events[0].End {
+				t.Fatalf("batch %d members disagree on bounds: %+v vs %+v", ord, ev, events[0])
+			}
+			if ev.Latency != events[0].Latency {
+				t.Fatalf("batch %d members disagree on latency", ord)
+			}
+			if ev.Phase != PhaseDecode || ev.Tokens != 1 {
+				t.Fatalf("decode-only batch member mis-phased: %+v", ev)
+			}
+			h += ev.Hits
+			m += ev.Misses
+			cpu += ev.CPUBusy
+			gpu += ev.GPUBusy
+			link += ev.LinkBusy
+		}
+		looks += h + m
+		if len(events) > 1 {
+			merged++
+			if h+m == 0 {
+				t.Fatalf("merged batch %d attributed no lookups", ord)
+			}
+		}
+		for name, v := range map[string]float64{"cpu": cpu, "gpu": gpu, "link": link} {
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("batch %d %s busy attribution = %v", ord, name, v)
+			}
+		}
+	}
+	if merged == 0 {
+		t.Fatal("greedy policy with 3 decode requests never merged a batch")
+	}
+	// Attributed lookups across all events equal the cache's counters.
+	if got := e.Cache().Hits() + e.Cache().Misses(); got != looks {
+		t.Fatalf("attributed lookups %d != cache counters %d", looks, got)
+	}
+}
+
+// TestBatchedMixedPhases runs greedy batching over a stream that still
+// owes prefills: merged iterations containing prefill work must emit
+// per-request events with the right phases and finish every request.
+func TestBatchedMixedPhases(t *testing.T) {
+	reqs := []workload.Request{
+		{ID: 0, PromptTokens: 24, DecodeTokens: 3},
+		{ID: 1, PromptTokens: 16, DecodeTokens: 2},
+		{ID: 2, PromptTokens: 8, DecodeTokens: 4},
+	}
+	events := collectEvents(t, 303, 3, reqs, WithBatchPolicy("greedy", 64))
+	prefills, decodes := map[int]int{}, map[int]int{}
+	// The clock is monotonic across iterations; events within one batch
+	// share their bounds and deliberately overlap each other.
+	var prevEnd float64
+	prevBatch := 0
+	for _, ev := range events {
+		if ev.End < ev.Start || (ev.Batch != prevBatch && ev.Start < prevEnd) {
+			t.Fatalf("batched event clock not monotonic: %+v after %v", ev, prevEnd)
+		}
+		prevEnd, prevBatch = ev.End, ev.Batch
+		switch ev.Phase {
+		case PhasePrefill:
+			prefills[ev.Request]++
+			if ev.Tokens != reqs[ev.Request].PromptTokens {
+				t.Fatalf("prefill tokens %d for request %d", ev.Tokens, ev.Request)
+			}
+		case PhaseDecode:
+			decodes[ev.Request]++
+		}
+	}
+	for _, r := range reqs {
+		if prefills[r.ID] != 1 || decodes[r.ID] != r.DecodeTokens {
+			t.Fatalf("request %d served %d prefills / %d decodes, want 1 / %d",
+				r.ID, prefills[r.ID], decodes[r.ID], r.DecodeTokens)
+		}
+	}
+}
+
+// TestPhaseAwareBatchesStayPure pins the phase-aware policy end-to-end:
+// no merged iteration ever mixes prefill and decode events.
+func TestPhaseAwareBatchesStayPure(t *testing.T) {
+	reqs := []workload.Request{
+		{ID: 0, PromptTokens: 24, DecodeTokens: 4},
+		{ID: 1, PromptTokens: 16, DecodeTokens: 4},
+		{ID: 2, PromptTokens: 8, DecodeTokens: 4},
+		{ID: 3, DecodeTokens: 6},
+	}
+	events := collectEvents(t, 304, 4, reqs, WithBatchPolicy("phase-aware", 256))
+	phases := map[int]map[Phase]bool{}
+	sizes := map[int]int{}
+	for _, ev := range events {
+		if phases[ev.Batch] == nil {
+			phases[ev.Batch] = map[Phase]bool{}
+		}
+		phases[ev.Batch][ev.Phase] = true
+		sizes[ev.Batch] = ev.BatchSize
+	}
+	merged := false
+	for ord, ph := range phases {
+		if len(ph) > 1 {
+			t.Fatalf("phase-aware batch %d mixed phases %v", ord, ph)
+		}
+		merged = merged || sizes[ord] > 1
+	}
+	if !merged {
+		t.Fatal("phase-aware never merged a batch over 4 concurrent requests")
+	}
+}
+
+// TestWithBatchPolicyValidation pins eager option validation: unknown
+// names and rejected budgets fail at engine construction, not at the
+// first Step.
+func TestWithBatchPolicyValidation(t *testing.T) {
+	mk := func(opt Option) error {
+		_, err := New(moe.DeepSeek(), hw.A6000Platform(), HybriMoEFramework(), opt)
+		return err
+	}
+	if err := mk(WithBatchPolicy("no-such-batcher", 64)); err == nil {
+		t.Fatal("unknown batch policy must fail construction")
+	}
+	if err := mk(WithBatchPolicy("greedy", 0)); err == nil {
+		t.Fatal("greedy with zero budget must fail construction")
+	}
+	if err := mk(WithBatchPolicy("phase-aware", -1)); err == nil {
+		t.Fatal("phase-aware with negative budget must fail construction")
+	}
+	if err := mk(WithBatchPolicy("greedy", 128)); err != nil {
+		t.Fatalf("valid batch policy rejected: %v", err)
+	}
+}

@@ -41,6 +41,9 @@ func Registry() []Experiment {
 		{"serving-policy", "Request schedulers × SLO admission comparison", func(p Params) Renderable {
 			return ServingPolicyStudy(p, 10, 0.25)
 		}},
+		{"batching", "Continuous-batching policies × concurrency", func(p Params) Renderable {
+			return BatchingStudy(p, 12, 0.25)
+		}},
 		{"precision", "INT4 vs INT8 offloading trade-off", func(p Params) Renderable { return PrecisionStudy(p) }},
 	}
 }

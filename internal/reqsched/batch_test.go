@@ -1,0 +1,153 @@
+package reqsched
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestBatchRegistryNames(t *testing.T) {
+	names := BatchNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("BatchNames not sorted: %v", names)
+	}
+	for _, want := range []string{"none", "greedy", "phase-aware"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("built-in batch policy %q missing from %v", want, names)
+		}
+	}
+	for _, name := range names {
+		p, err := NewBatch(name, 64)
+		if err != nil {
+			t.Fatalf("NewBatch(%q, 64): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("NewBatch(%q).Name() = %q", name, p.Name())
+		}
+	}
+}
+
+func TestNewBatchUnknownName(t *testing.T) {
+	_, err := NewBatch("no-such-batcher", 64)
+	if err == nil {
+		t.Fatal("unknown batch policy must error")
+	}
+	// The error names the registered set, like the scheduler registry.
+	if msg := err.Error(); !strings.Contains(msg, "no-such-batcher") || !strings.Contains(msg, "greedy") {
+		t.Fatalf("unhelpful unknown-name error: %v", err)
+	}
+}
+
+func TestNewBatchBudgetValidation(t *testing.T) {
+	for _, name := range []string{"greedy", "phase-aware"} {
+		for _, budget := range []int{0, -1} {
+			if _, err := NewBatch(name, budget); err == nil {
+				t.Fatalf("NewBatch(%q, %d) accepted a non-positive budget", name, budget)
+			}
+		}
+		if _, err := NewBatch(name, 1); err != nil {
+			t.Fatalf("NewBatch(%q, 1): %v", name, err)
+		}
+	}
+	// "none" has nothing to budget and accepts anything.
+	for _, budget := range []int{-5, 0, 512} {
+		if _, err := NewBatch("none", budget); err != nil {
+			t.Fatalf("NewBatch(none, %d): %v", budget, err)
+		}
+	}
+}
+
+func TestRegisterBatchGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { RegisterBatch("", func(int) (BatchPolicy, error) { return NoBatch{}, nil }) })
+	mustPanic("nil factory", func() { RegisterBatch("nil-batcher", nil) })
+	mustPanic("duplicate", func() { RegisterBatch("none", func(int) (BatchPolicy, error) { return NoBatch{}, nil }) })
+}
+
+// batchActive is a mixed active set: indices 0 and 2 are decoding,
+// 1 and 3 still owe their prefill, 4 is a decode-only burst.
+func batchActive() []Request {
+	return []Request{
+		{ID: 0, Seq: 0, Prefilled: true, PromptTokens: 64, RemainingDecode: 3},
+		{ID: 1, Seq: 1, PromptTokens: 40, RemainingDecode: 2},
+		{ID: 2, Seq: 2, Prefilled: true, PromptTokens: 16, RemainingDecode: 5},
+		{ID: 3, Seq: 3, PromptTokens: 200, RemainingDecode: 1},
+		{ID: 4, Seq: 4, PromptTokens: 0, RemainingDecode: 2},
+	}
+}
+
+func TestStepTokens(t *testing.T) {
+	active := batchActive()
+	want := []int{1, 40, 1, 200, 1}
+	for i, r := range active {
+		if got := r.StepTokens(); got != want[i] {
+			t.Errorf("request %d StepTokens = %d, want %d", i, got, want[i])
+		}
+	}
+	if active[1].Decoding() || !active[4].Decoding() {
+		t.Error("Decoding misclassifies prefill-pending vs decode-only requests")
+	}
+}
+
+func TestNoBatchFormsLeadOnly(t *testing.T) {
+	p, _ := NewBatch("none", 0)
+	for lead := range batchActive() {
+		if got := p.Form(0, batchActive(), lead); !reflect.DeepEqual(got, []int{lead}) {
+			t.Fatalf("none.Form(lead=%d) = %v, want [%d]", lead, got, lead)
+		}
+	}
+}
+
+func TestGreedyBatchPacksToBudget(t *testing.T) {
+	p, _ := NewBatch("greedy", 43)
+	// Lead 0 costs 1, leaving 42: request 1 (40 tokens) and the two
+	// decode steps (1 each) fit; request 3 (200) does not.
+	got := p.Form(0, batchActive(), 0)
+	if want := []int{0, 1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("greedy.Form = %v, want %v", got, want)
+	}
+}
+
+func TestGreedyBatchLeadAlwaysRides(t *testing.T) {
+	p, _ := NewBatch("greedy", 8)
+	// The lead's 200-token prompt exceeds the whole budget; it must
+	// still advance (alone) or the loop would stall.
+	got := p.Form(0, batchActive(), 3)
+	if want := []int{3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("greedy.Form(over-budget lead) = %v, want %v", got, want)
+	}
+}
+
+func TestPhaseAwareBatchSegregatesPhases(t *testing.T) {
+	p, _ := NewBatch("phase-aware", 512)
+	// Decode lead: every decode-phase request joins, no prefill does,
+	// even though the budget has room for them.
+	got := p.Form(0, batchActive(), 0)
+	if want := []int{0, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("phase-aware.Form(decode lead) = %v, want %v", got, want)
+	}
+	// Prefill lead: only the other prefill joins.
+	got = p.Form(0, batchActive(), 1)
+	if want := []int{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("phase-aware.Form(prefill lead) = %v, want %v", got, want)
+	}
+	// A tight budget still segregates and still carries the lead.
+	tight, _ := NewBatch("phase-aware", 1)
+	got = tight.Form(0, batchActive(), 0)
+	if want := []int{0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("phase-aware.Form(budget 1) = %v, want %v", got, want)
+	}
+}

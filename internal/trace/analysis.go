@@ -154,6 +154,34 @@ func DecodeStep(g *Generator) []LayerActivation {
 	return out
 }
 
+// BatchDecodeStep advances the generator one iteration and returns each
+// layer's activation for a continuously-batched decode iteration over
+// batch concurrent requests. The requests share the iteration's single
+// activation pass — the generator models one latent routing stream, so
+// the batch's union of experts is this pass's top-k set — and every
+// activated expert serves one token per batched request: loads are the
+// unit decode loads scaled by the batch size, summing to
+// batch × ActivatedExperts per layer, which keeps per-token cache
+// lookup counts conserved against the equivalent unbatched run.
+// batch 1 is exactly DecodeStep.
+func BatchDecodeStep(g *Generator, batch int) []LayerActivation {
+	if batch < 1 {
+		panic(fmt.Sprintf("trace: non-positive decode batch %d", batch))
+	}
+	out := DecodeStep(g)
+	if batch == 1 {
+		return out
+	}
+	for i := range out {
+		for e, l := range out[i].Loads {
+			if l > 0 {
+				out[i].Loads[e] = l * batch
+			}
+		}
+	}
+	return out
+}
+
 // PrefillStep advances the generator one iteration and returns each
 // layer's activation for a prefill forward over the given token count.
 func PrefillStep(g *Generator, tokens int) []LayerActivation {
