@@ -335,7 +335,7 @@ func BenchmarkReqSchedNext(b *testing.B) {
 			}
 			for i := 0; i < b.N; i++ {
 				idx := s.Next(0, active)
-				s.Stepped(idx, false)
+				s.Stepped(idx, nil)
 			}
 		})
 	}

@@ -21,7 +21,11 @@
 //	-batch-budget N     token budget per merged iteration
 //	-slo-ttft-p95 SECS  p95 TTFT target; >0 enables SLO admission control
 //	-slo-tbt-p95 SECS   p95 TBT target; >0 enables SLO admission control
-//	-deadline SECS      per-token deadline budget; >0 stamps completion deadlines
+//	-deadline SECS      per-token deadline budget; >0 stamps arrival-relative deadlines
+//	-arrivals NAME      open-loop arrival process: none, poisson, uniform, bursty
+//	-rate R             mean arrival rate in req/s (with -arrivals)
+//	-trace-in FILE      replay a JSONL request trace instead of sampling a stream
+//	-trace-out FILE     record the offered request sequence as a JSONL trace
 package main
 
 import (
@@ -122,13 +126,17 @@ func run(args []string) error {
 		ratio := fs.Float64("cache", 0.25, "GPU expert cache ratio")
 		requests := fs.Int("requests", 8, "requests to draw from the workload stream")
 		concurrent := fs.Int("concurrent", 2, "requests served at once (phases interleave)")
-		decodeCap := fs.Int("decode-cap", 16, "cap on decode tokens per request")
+		decodeCap := fs.Int("decode-cap", 16, "cap on decode tokens per request, 0 = uncapped")
 		reqSched := fs.String("reqsched", "round-robin", "request scheduler: "+strings.Join(reqsched.Names(), ", "))
 		batch := fs.String("batch", "none", "batch former merging concurrent iterations: "+strings.Join(reqsched.BatchNames(), ", "))
 		batchBudget := fs.Int("batch-budget", exp.BatchBudget, "token budget per merged iteration")
 		sloTTFT := fs.Float64("slo-ttft-p95", 0, "p95 TTFT target in seconds; >0 enables SLO admission control")
 		sloTBT := fs.Float64("slo-tbt-p95", 0, "p95 TBT target in seconds; >0 enables SLO admission control")
-		deadline := fs.Float64("deadline", 0, "per-token completion-deadline budget in seconds; >0 stamps deadlines")
+		deadline := fs.Float64("deadline", 0, "per-token completion-deadline budget in seconds; >0 stamps arrival-relative deadlines")
+		arrivals := fs.String("arrivals", "none", "open-loop arrival process: none, poisson, uniform, bursty")
+		rate := fs.Float64("rate", 4, "mean arrival rate in req/s (with -arrivals)")
+		traceIn := fs.String("trace-in", "", "replay a JSONL request trace instead of sampling a stream")
+		traceOut := fs.String("trace-out", "", "record the offered request sequence (deadlines stamped, before admission) as a JSONL trace")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -141,6 +149,7 @@ func run(args []string) error {
 			requests: *requests, concurrent: *concurrent, decodeCap: *decodeCap,
 			reqSched: *reqSched, batch: *batch, batchBudget: *batchBudget,
 			sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
+			arrivals: *arrivals, rate: *rate, traceIn: *traceIn, traceOut: *traceOut,
 		}
 		return serve(sc)
 
@@ -162,12 +171,50 @@ type serveConfig struct {
 	batchBudget          int
 	sloTTFT, sloTBT      float64
 	deadline             float64
+	arrivals             string
+	rate                 float64
+	traceIn, traceOut    string
 }
 
-// serve streams a mixed-corpus request workload through the engine's
-// Session loop — under the selected request scheduler and, when SLO
-// targets are set, admission control — and reports TTFT/TBT percentiles
-// plus shed/deferral/violation accounting from the step events.
+// serveRequests assembles the request sequence for one serve run:
+// replayed from a JSONL trace when -trace-in is set (arrival stamps and
+// deadlines come from the recording), otherwise sampled from the mixed
+// corpus stream with optional open-loop arrival stamping.
+func serveRequests(sc serveConfig) ([]workload.Request, error) {
+	if sc.traceIn != "" {
+		f, err := os.Open(sc.traceIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		reqs, err := workload.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(reqs) == 0 {
+			return nil, fmt.Errorf("trace %s holds no requests", sc.traceIn)
+		}
+		return reqs, nil
+	}
+	stream := workload.NewStream(sc.seed, workload.AllDatasets()...)
+	if sc.arrivals != "none" {
+		proc, err := workload.NewArrivals(sc.arrivals, sc.rate)
+		if err != nil {
+			return nil, err
+		}
+		stream.WithArrivals(proc)
+	}
+	reqs := stream.NextN(sc.requests)
+	workload.CapDecode(reqs, sc.decodeCap)
+	return reqs, nil
+}
+
+// serve streams a request workload — sampled from the mixed corpora,
+// optionally under an open-loop arrival process, or replayed from a
+// JSONL trace — through the engine's Session loop under the selected
+// request scheduler and, when SLO targets are set, admission control,
+// and reports queue-inclusive TTFT and TBT percentiles plus
+// shed/deferral/violation accounting from the step events.
 func serve(sc serveConfig) error {
 	if sc.requests < 1 {
 		return fmt.Errorf("-requests %d must be at least 1", sc.requests)
@@ -195,21 +242,36 @@ func serve(sc serveConfig) error {
 	if err != nil {
 		return err
 	}
-	stream := workload.NewStream(sc.seed, workload.AllDatasets()...)
-	reqs := stream.NextN(sc.requests)
-	for i := range reqs {
-		if reqs[i].DecodeTokens > sc.decodeCap {
-			reqs[i].DecodeTokens = sc.decodeCap
-		}
+	reqs, err := serveRequests(sc)
+	if err != nil {
+		return err
 	}
 	if sc.deadline > 0 {
 		workload.AssignDeadlines(reqs, 0, sc.deadline)
+	}
+	if sc.traceOut != "" {
+		f, err := os.Create(sc.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteTrace(f, reqs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	s := e.NewSession(engine.WithMaxConcurrent(sc.concurrent))
 	s.Submit(reqs...)
 
 	fmt.Printf("serving %d requests on %s (%.0f%% cache, ≤%d concurrent, %s scheduling",
 		len(reqs), sc.cfg.Name, sc.ratio*100, sc.concurrent, sc.reqSched)
+	if sc.traceIn != "" {
+		fmt.Printf(", replaying %s", sc.traceIn)
+	} else if sc.arrivals != "none" {
+		fmt.Printf(", %s arrivals at %.3g req/s", sc.arrivals, sc.rate)
+	}
 	if sc.batch != "none" {
 		fmt.Printf(", %s batching ≤%d tokens", sc.batch, sc.batchBudget)
 	}
@@ -222,9 +284,15 @@ func serve(sc serveConfig) error {
 	s.Run(func(ev engine.StepEvent) {
 		switch ev.Phase {
 		case engine.PhasePrefill:
-			ttfts = append(ttfts, ev.Latency)
-			fmt.Printf("  t=%7.3fs req %2d prefill %4d tokens  TTFT %.4fs\n",
-				ev.End, ev.Request, ev.Tokens, ev.Latency)
+			// TTFT is queue-inclusive: arrival → first token. With no
+			// arrival stamps Queued is 0 and this is the forward alone.
+			ttfts = append(ttfts, ev.Queued+ev.Latency)
+			queued := ""
+			if ev.Queued > 0 {
+				queued = fmt.Sprintf(" (queued %.4fs)", ev.Queued)
+			}
+			fmt.Printf("  t=%7.3fs req %2d prefill %4d tokens  TTFT %.4fs%s\n",
+				ev.End, ev.Request, ev.Tokens, ev.Queued+ev.Latency, queued)
 		case engine.PhaseDecode:
 			tbts = append(tbts, ev.Latency)
 		case engine.PhaseShed:

@@ -1,6 +1,9 @@
 // Command tracegen dumps synthetic MoE routing traces as CSV for
-// external analysis: per-iteration activated experts and routing scores
-// for decode, or per-expert token loads for prefill.
+// external analysis — per-iteration activated experts and routing
+// scores for decode, or per-expert token loads for prefill — and, in
+// requests mode, emits a JSONL request trace (the workload
+// WriteTrace/ReadTrace schema, optionally stamped with open-loop
+// arrivals) that replays through `hybrimoe serve -trace-in`.
 package main
 
 import (
@@ -11,17 +14,30 @@ import (
 
 	"hybrimoe/internal/moe"
 	"hybrimoe/internal/trace"
+	"hybrimoe/internal/workload"
 )
 
 func main() {
 	model := flag.String("model", "DeepSeek", "model name (DeepSeek, Mixtral, Qwen2)")
-	mode := flag.String("mode", "decode", "decode or prefill")
+	mode := flag.String("mode", "decode", "decode, prefill or requests")
 	iters := flag.Int("iters", 16, "decode iterations to dump")
 	tokens := flag.Int("tokens", 128, "prefill tokens (prefill mode)")
 	layer := flag.Int("layer", 0, "layer to dump")
 	seed := flag.Uint64("seed", 2025, "trace seed")
 	scores := flag.Bool("scores", false, "dump full score distribution instead of activations")
+	requests := flag.Int("requests", 16, "requests to emit (requests mode)")
+	arrivals := flag.String("arrivals", "poisson", "arrival process for requests mode: none, poisson, uniform, bursty")
+	rate := flag.Float64("rate", 4, "mean arrival rate in req/s (requests mode)")
+	decodeCap := flag.Int("decode-cap", 0, "cap on decode tokens per request, 0 = uncapped (requests mode)")
 	flag.Parse()
+
+	if *mode == "requests" {
+		if err := emitRequests(*seed, *requests, *arrivals, *rate, *decodeCap); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg, err := moe.ByName(*model)
 	if err != nil {
@@ -73,7 +89,30 @@ func main() {
 		}
 
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown mode %q (decode|prefill)\n", *mode)
+		fmt.Fprintf(os.Stderr, "tracegen: unknown mode %q (decode|prefill|requests)\n", *mode)
 		os.Exit(1)
 	}
+}
+
+// emitRequests writes a JSONL request trace to stdout: the mixed-corpus
+// workload stream, optionally stamped with open-loop arrival times, in
+// the exact schema `hybrimoe serve -trace-in` replays.
+func emitRequests(seed uint64, requests int, arrivals string, rate float64, decodeCap int) error {
+	if requests < 1 {
+		return fmt.Errorf("-requests %d must be at least 1", requests)
+	}
+	if decodeCap < 0 {
+		return fmt.Errorf("-decode-cap %d must be non-negative", decodeCap)
+	}
+	stream := workload.NewStream(seed, workload.AllDatasets()...)
+	if arrivals != "none" {
+		proc, err := workload.NewArrivals(arrivals, rate)
+		if err != nil {
+			return err
+		}
+		stream.WithArrivals(proc)
+	}
+	reqs := stream.NextN(requests)
+	workload.CapDecode(reqs, decodeCap)
+	return workload.WriteTrace(os.Stdout, reqs)
 }

@@ -47,11 +47,18 @@ type SLOSnapshot struct {
 	// Now is the simulation clock at the admission pass.
 	Now float64
 	// TTFT and TBT summarise the live per-stage latency observations
-	// (report.Latencies over the session's event stream). Zero-valued
-	// when no observation of that stage exists yet.
+	// from the session's event stream. TTFT observations are
+	// queue-inclusive — arrival → first token (StepEvent.Queued +
+	// Latency), so queueing pressure from open-loop bursts moves the
+	// quantiles; for closed-queue requests with no arrival stamp this
+	// reduces to the forward latency alone. TBT observations are raw
+	// per-step decode latencies. Zero-valued when no observation of
+	// that stage exists yet.
 	TTFT, TBT report.LatencyStats
-	// Active and Queued are the in-flight and still-pending request
-	// counts (Queued includes the request under decision).
+	// Active and Queued are the in-flight and arrived-but-still-pending
+	// request counts (Queued includes the request under decision;
+	// requests whose open-loop arrival is still in the future are not
+	// counted — the server cannot see them yet).
 	Active, Queued int
 }
 

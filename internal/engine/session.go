@@ -14,8 +14,10 @@ type Phase int
 
 // Serving stages.
 const (
-	// PhasePrefill is the prompt forward; its latency is the request's
-	// TTFT.
+	// PhasePrefill is the prompt forward. Its Latency plus its Queued
+	// wait is the request's TTFT, measured from arrival to first token;
+	// for requests without an arrival stamp Queued is 0 and TTFT
+	// remains the forward latency alone.
 	PhasePrefill Phase = iota
 	// PhaseDecode is one token-generation iteration; its latency is one
 	// TBT observation.
@@ -74,6 +76,18 @@ type StepEvent struct {
 	// so consumers can count SLO violations — End past Deadline on the
 	// Done event — without a side table.
 	Deadline float64
+	// Arrival echoes the request's arrival stamp (0 for closed-queue
+	// requests present from the start), so consumers can reconstruct
+	// arrival-relative latencies without a side table.
+	Arrival float64
+	// Queued is the queue wait the request served before its first
+	// compute step: arrival → step start, carried by that first event
+	// only (the prefill, or the first decode of a prompt-less burst).
+	// Latency + Queued on a prefill event is the queue-inclusive TTFT —
+	// arrival to first token — the signal admission control watches.
+	// Requests without an arrival stamp report 0, preserving the
+	// closed-queue event stream bit-for-bit.
+	Queued float64
 	// Batch is the 1-based ordinal of the merged engine iteration this
 	// step ran in. Every compute event carries one; the events of a
 	// multi-request batch share it (and their Start/End bounds).
@@ -111,6 +125,7 @@ type sessionRequest struct {
 	decoded   int
 	seq       int  // admission order, the schedulers' final tie-break
 	deferred  bool // a PhaseDeferred event has been emitted
+	started   bool // the first compute step has run (queue wait stamped)
 }
 
 func (r *sessionRequest) done() bool {
@@ -181,15 +196,23 @@ func (e *Engine) NewSession(opts ...SessionOption) *Session {
 // Submit enqueues requests. It may be called before the first Step or
 // at any point during the run (a live request stream). A request with
 // PromptTokens <= 0 skips prefill (a decode-only burst); one with
-// DecodeTokens <= 0 stops after prefill.
+// DecodeTokens <= 0 stops after prefill. A request with neither — no
+// work at all — is dropped immediately: it emits no event and never
+// counts toward Pending. Requests carrying an Arrival stamp are held
+// until the simulation clock reaches it (the open-loop server); the
+// clock advances across idle gaps when nothing earlier is runnable.
 func (s *Session) Submit(reqs ...workload.Request) {
 	for _, r := range reqs {
+		if r.PromptTokens <= 0 && r.DecodeTokens <= 0 {
+			continue
+		}
 		s.pending = append(s.pending, &sessionRequest{req: r})
 	}
 }
 
-// Pending reports how many submitted requests have not yet finished
-// (shed requests no longer count).
+// Pending reports how many submitted requests have not yet finished —
+// requests still waiting on their arrival included, shed and zero-work
+// submissions (dropped at Submit) not.
 func (s *Session) Pending() int { return len(s.pending) + len(s.active) }
 
 // Steps reports how many step events the session has emitted,
@@ -224,34 +247,69 @@ func (s *Session) snapshot() SLOSnapshot {
 		TTFT:   s.ttfts.Stats(),
 		TBT:    s.tbts.Stats(),
 		Active: len(s.active),
-		Queued: len(s.pending),
+		Queued: s.arrivedPending(),
 	}
+}
+
+// arrivedPending counts the pending requests whose arrival the clock
+// has reached — the real queue depth. Requests still in the future are
+// invisible to admission decisions: counting them would leak arrivals
+// the server cannot know about yet.
+func (s *Session) arrivedPending() int {
+	n := 0
+	for _, r := range s.pending {
+		if r.req.Arrival <= s.e.clock {
+			n++
+		}
+	}
+	return n
+}
+
+// nextArrival reports the earliest pending arrival still in the
+// clock's future; ok is false when every pending request has already
+// arrived (or nothing is pending).
+func (s *Session) nextArrival() (at float64, ok bool) {
+	for _, r := range s.pending {
+		if r.req.Arrival > s.e.clock && (!ok || r.req.Arrival < at) {
+			at, ok = r.req.Arrival, true
+		}
+	}
+	return at, ok
 }
 
 // admit moves pending requests into the active set up to the
 // concurrency limit, consulting the admission policy when one is
-// installed. Requests with no work at all (neither prompt nor decode
-// tokens) are dropped rather than granted a phantom step. A deferred
-// request stays at the head of the queue — admission is order-
+// installed. Requests whose arrival is still in the clock's future are
+// held — skipped over without blocking already-arrived requests behind
+// them (trace replays may interleave arrival order). A deferred request
+// stays at the head of the arrived queue — admission is order-
 // preserving, so later arrivals wait behind it — unless nothing is
 // active, in which case it is admitted anyway: with no work in flight
 // the quantiles can never recover, and the loop must make progress.
 func (s *Session) admit() {
 	// The latency quantiles and clock are invariant across one admission
-	// pass (no step runs in between); snapshot them once and refresh
-	// only the queue depths per decision.
+	// pass (no step runs in between); snapshot them once — the arrived
+	// count included, since every in-pass removal below takes an arrived
+	// request — and refresh only the queue depths per decision.
 	var snap SLOSnapshot
+	arrived := 0
 	if s.adm != nil && len(s.pending) > 0 {
 		snap = s.snapshot()
+		arrived = snap.Queued
 	}
-	for len(s.active) < s.maxConcurrent && len(s.pending) > 0 {
-		r := s.pending[0]
+	for i := 0; len(s.active) < s.maxConcurrent && i < len(s.pending); {
+		r := s.pending[i]
+		if r.req.Arrival > s.e.clock {
+			i++
+			continue
+		}
 		if r.done() {
-			s.pending = s.pending[1:]
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			arrived--
 			continue
 		}
 		if s.adm != nil {
-			snap.Active, snap.Queued = len(s.active), len(s.pending)
+			snap.Active, snap.Queued = len(s.active), arrived
 			d := s.adm.Decide(r.req, snap)
 			if d == AdmissionDefer && len(s.active) == 0 {
 				// The verdict still counts; only the wait is skipped.
@@ -260,12 +318,13 @@ func (s *Session) admit() {
 			}
 			switch d {
 			case AdmissionShed:
-				s.pending = s.pending[1:]
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				arrived--
 				s.shed++
 				s.admEvents = append(s.admEvents, StepEvent{
 					Request: r.req.ID, Phase: PhaseShed,
 					Start: s.e.clock, End: s.e.clock,
-					Deadline: r.req.Deadline, Done: true,
+					Deadline: r.req.Deadline, Arrival: r.req.Arrival, Done: true,
 				})
 				continue
 			case AdmissionDefer:
@@ -275,13 +334,14 @@ func (s *Session) admit() {
 					s.admEvents = append(s.admEvents, StepEvent{
 						Request: r.req.ID, Phase: PhaseDeferred,
 						Start: s.e.clock, End: s.e.clock,
-						Deadline: r.req.Deadline,
+						Deadline: r.req.Deadline, Arrival: r.req.Arrival,
 					})
 				}
 				return
 			}
 		}
-		s.pending = s.pending[1:]
+		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		arrived--
 		r.seq = s.nextSeq
 		s.nextSeq++
 		s.active = append(s.active, r)
@@ -309,8 +369,10 @@ func (s *Session) schedView() []reqsched.Request {
 // batch the batch former builds around the scheduler's pick, returning
 // the first of its events — or a queued shed/deferral record, or the
 // next event of an already-executed merged iteration, one per call,
-// ahead of new compute. ok is false when every submitted request has
-// finished or been shed.
+// ahead of new compute. When nothing is runnable yet but requests are
+// still due to arrive (the open-loop idle gap), the simulation clock
+// jumps to the next arrival instead of spinning. ok is false when
+// every submitted request has finished or been shed.
 func (s *Session) Step() (ev StepEvent, ok bool) {
 	if len(s.batchEvents) > 0 {
 		ev = s.batchEvents[0]
@@ -319,6 +381,21 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 		return ev, true
 	}
 	s.admit()
+	// Open-loop idle gap: the active set is drained and no admission
+	// record is waiting, yet requests are still en route. Advance the
+	// clock to the earliest future arrival and re-admit; each round
+	// consumes at least one pending request (admit, shed or promoted
+	// deferral), so the loop terminates.
+	for len(s.active) == 0 && len(s.admEvents) == 0 {
+		next, more := s.nextArrival()
+		if !more {
+			break
+		}
+		if next > s.e.clock {
+			s.e.clock = next
+		}
+		s.admit()
+	}
 	if len(s.admEvents) > 0 {
 		ev = s.admEvents[0]
 		s.admEvents = s.admEvents[1:]
@@ -379,7 +456,8 @@ func (s *Session) stepSolo(idx int) StepEvent {
 	r := s.active[idx]
 
 	ev := StepEvent{Request: r.req.ID, Start: s.e.clock, Deadline: r.req.Deadline,
-		Batch: s.batches, BatchSize: 1}
+		Arrival: r.req.Arrival, Batch: s.batches, BatchSize: 1}
+	ev.Queued = s.queueWait(r, ev.Start)
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
 	cpu0, gpu0, link0 := s.e.cpuBusy, s.e.gpuBusy, s.e.linkBusy
 
@@ -393,7 +471,10 @@ func (s *Session) stepSolo(idx int) StepEvent {
 		if s.adm != nil {
 			// Only admission snapshots read the accumulators; skip the
 			// sorted insert (and the retained history) without a policy.
-			s.ttfts.Add(ev.Latency)
+			// The observation is the queue-inclusive TTFT — arrival to
+			// first token — so admission sees queueing pressure build,
+			// not just the forward's cost.
+			s.ttfts.Add(ev.Queued + ev.Latency)
 		}
 	} else {
 		ev.Phase = PhaseDecode
@@ -405,6 +486,7 @@ func (s *Session) stepSolo(idx int) StepEvent {
 		r.decoded++
 		if s.adm != nil {
 			s.tbts.Add(ev.Latency)
+			s.addDecodeOnlyTTFT(r, ev)
 		}
 	}
 
@@ -420,9 +502,38 @@ func (s *Session) stepSolo(idx int) StepEvent {
 
 	if ev.Done {
 		s.active = append(s.active[:idx], s.active[idx+1:]...)
+		s.sched.Stepped(idx, []int{idx})
+	} else {
+		s.sched.Stepped(idx, nil)
 	}
-	s.sched.Stepped(idx, ev.Done)
 	return ev
+}
+
+// addDecodeOnlyTTFT folds a prompt-less request's first token into the
+// TTFT quantiles admission reads: with no prefill to carry the
+// observation, its arrival→first-token time is the first decode's
+// queue wait plus latency. Only arrival-stamped requests contribute —
+// closed-queue decode-only bursts never fed the TTFT feed, and keeping
+// them out preserves that admission behaviour exactly.
+func (s *Session) addDecodeOnlyTTFT(r *sessionRequest, ev StepEvent) {
+	if r.req.PromptTokens <= 0 && ev.Index == 0 && r.req.Arrival > 0 {
+		s.ttfts.Add(ev.Queued + ev.Latency)
+	}
+}
+
+// queueWait stamps (once, on the request's first compute step) the
+// arrival→start queue wait. Requests without an arrival stamp report 0,
+// keeping the closed-queue event stream identical to the pre-arrival
+// loop.
+func (s *Session) queueWait(r *sessionRequest, start float64) float64 {
+	if r.started {
+		return 0
+	}
+	r.started = true
+	if r.req.Arrival <= 0 {
+		return 0
+	}
+	return maxF(0, start-r.req.Arrival)
 }
 
 // runBatch executes one merged engine iteration for a multi-request
@@ -498,6 +609,8 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 			End:      end,
 			Latency:  latency,
 			Deadline: r.req.Deadline,
+			Arrival:  r.req.Arrival,
+			Queued:   s.queueWait(r, start),
 			Batch:    s.batches,
 			// Token-share attribution, telescoped so member deltas sum
 			// exactly to the iteration totals.
@@ -513,7 +626,8 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 			ev.Tokens = r.req.PromptTokens
 			r.prefilled = true
 			if s.adm != nil {
-				s.ttfts.Add(latency)
+				// Queue-inclusive TTFT, as in the solo path.
+				s.ttfts.Add(ev.Queued + latency)
 			}
 		} else {
 			ev.Phase = PhaseDecode
@@ -522,24 +636,28 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 			r.decoded++
 			if s.adm != nil {
 				s.tbts.Add(latency)
+				s.addDecodeOnlyTTFT(r, ev)
 			}
 		}
 		ev.Done = r.done()
 		events[i] = ev
 	}
 
-	leadDone := s.active[lead].done()
+	var removed []int
 	remaining := s.active[:0]
-	for _, r := range s.active {
-		if !r.done() {
-			remaining = append(remaining, r)
+	for i, r := range s.active {
+		if r.done() {
+			removed = append(removed, i)
+			continue
 		}
+		remaining = append(remaining, r)
 	}
 	s.active = remaining
-	// The scheduler is told about its own pick, as in the solo path;
-	// batch co-members advancing alongside are invisible to it, the way
-	// cursor-style policies expect.
-	s.sched.Stepped(lead, leadDone)
+	// The scheduler is told its pick's outcome and the full (ascending)
+	// removal set: a merged batch can complete co-members at indices
+	// below the pick, and the compaction above shifts the active slice
+	// under any cursor that only heard about the lead.
+	s.sched.Stepped(lead, removed)
 	return events
 }
 

@@ -44,6 +44,9 @@ func Registry() []Experiment {
 		{"batching", "Continuous-batching policies × concurrency", func(p Params) Renderable {
 			return BatchingStudy(p, 12, 0.25)
 		}},
+		{"open-loop", "Open-loop Poisson arrivals × scheduler × batch former", func(p Params) Renderable {
+			return OpenLoopStudy(p, 10, 0.25)
+		}},
 		{"precision", "INT4 vs INT8 offloading trade-off", func(p Params) Renderable { return PrecisionStudy(p) }},
 	}
 }

@@ -92,11 +92,7 @@ func BatchingStudy(p Params, requests int, ratio float64) *report.Table {
 
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
 	reqs := stream.NextN(requests)
-	for i := range reqs {
-		if reqs[i].DecodeTokens > p.DecodeSteps {
-			reqs[i].DecodeTokens = p.DecodeSteps
-		}
-	}
+	workload.CapDecode(reqs, p.DecodeSteps)
 
 	for _, policy := range []string{"none", "greedy", "phase-aware"} {
 		for _, concurrent := range []int{1, 4, 8} {

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenLoopStudyShape(t *testing.T) {
+	p := QuickParams()
+	p.DecodeSteps = 4
+	tbl := OpenLoopStudy(p, 5, 0.25)
+	out := render(t, tbl)
+	// 3 rates × 2 schedulers × 2 batch formers.
+	if tbl.NumRows() != 12 {
+		t.Fatalf("rows = %d, want 12:\n%s", tbl.NumRows(), out)
+	}
+	for _, name := range []string{"round-robin", "sjf", "none", "greedy"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing axis value %s:\n%s", name, out)
+		}
+	}
+	for _, col := range []string{"rate(req/s)", "shed-fraction", "goodput(req/s)",
+		"p95-TTFT(s)", "p95-prefill(s)", "p95-queue(s)"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("missing column %s:\n%s", col, out)
+		}
+	}
+}
+
+// TestOpenLoopStudyQueueingShowsAtHighRate pins the acceptance claims:
+// past capacity the queue-inclusive p95 TTFT strictly exceeds the pure
+// prefill forward p95 (the wait the queue-blind accounting hid), and
+// the admission guard sheds a larger fraction at the highest arrival
+// rate than at the lowest.
+func TestOpenLoopStudyQueueingShowsAtHighRate(t *testing.T) {
+	p := QuickParams()
+	p.DecodeSteps = 4
+	tbl := OpenLoopStudy(p, 6, 0.25)
+	out := render(t, tbl)
+
+	type row struct {
+		rate, shedFrac, ttftQ, forward float64
+	}
+	var rows []row
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		// rate, reqsched, batch, completed, shed-fraction, goodput,
+		// p95-TTFT, p95-prefill, p95-queue
+		if len(fields) != 9 || fields[1] != "round-robin" && fields[1] != "sjf" {
+			continue
+		}
+		rows = append(rows, row{
+			rate:     parseField(t, fields[0]),
+			shedFrac: parseField(t, fields[4]),
+			ttftQ:    parseField(t, fields[6]),
+			forward:  parseField(t, fields[7]),
+		})
+	}
+	if len(rows) != 12 {
+		t.Fatalf("parsed %d data rows, want 12:\n%s", len(rows), out)
+	}
+	minRate, maxRate := rows[0].rate, rows[0].rate
+	for _, r := range rows {
+		if r.rate < minRate {
+			minRate = r.rate
+		}
+		if r.rate > maxRate {
+			maxRate = r.rate
+		}
+	}
+	var lowShed, highShed float64
+	var highRows int
+	for _, r := range rows {
+		if r.rate == maxRate {
+			highRows++
+			highShed += r.shedFrac
+			if r.ttftQ <= r.forward {
+				t.Fatalf("past-capacity burst: queue-inclusive p95 TTFT %v not above forward p95 %v\n%s",
+					r.ttftQ, r.forward, out)
+			}
+		}
+		if r.rate == minRate {
+			lowShed += r.shedFrac
+		}
+	}
+	if highRows == 0 {
+		t.Fatalf("no rows at the top rate:\n%s", out)
+	}
+	if highShed <= lowShed {
+		t.Fatalf("shed fraction did not rise with arrival rate: low-rate sum %v, high-rate sum %v\n%s",
+			lowShed, highShed, out)
+	}
+}

@@ -27,13 +27,7 @@ func ServingStudy(p Params, requests int, ratio float64) *report.Table {
 	// One shared request sequence for every framework.
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
 	reqs := stream.NextN(requests)
-	for i := range reqs {
-		// Cap decode lengths so the study stays simulation-cheap while
-		// preserving the TTFT/TBT mix.
-		if reqs[i].DecodeTokens > p.DecodeSteps {
-			reqs[i].DecodeTokens = p.DecodeSteps
-		}
-	}
+	workload.CapDecode(reqs, p.DecodeSteps)
 
 	for _, fw := range engine.AllFrameworks() {
 		e, err := engine.New(cfg, platform, fw,
@@ -141,10 +135,8 @@ func ServingPolicyStudy(p Params, requests int, ratio float64) *report.Table {
 
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
 	reqs := stream.NextN(requests)
+	workload.CapDecode(reqs, p.DecodeSteps)
 	for i := range reqs {
-		if reqs[i].DecodeTokens > p.DecodeSteps {
-			reqs[i].DecodeTokens = p.DecodeSteps
-		}
 		// Every third request is priority traffic the SLO guard may
 		// defer but never shed.
 		if i%3 == 0 {

@@ -198,3 +198,36 @@ func TestLiveMatchesLatencies(t *testing.T) {
 		}
 	}
 }
+
+// TestLiveDuplicateHeavySamples stresses the binary-search insertion at
+// equal keys: a feed dominated by a handful of repeated values — the
+// shape a steady server's latency stream actually has — must keep Live
+// and Latencies in exact agreement however the duplicates interleave,
+// including all-identical samples where every percentile collapses to
+// the one value.
+func TestLiveDuplicateHeavySamples(t *testing.T) {
+	var live Live
+	var xs []float64
+	// Three values, heavily repeated, interleaved in a fixed scrambled
+	// order; sort.SearchFloat64s lands on the leftmost equal slot, so
+	// every insertion exercises the equal-key copy path.
+	vals := []float64{0.25, 0.125, 0.25, 0.5, 0.25, 0.125}
+	for i := 0; i < 120; i++ {
+		x := vals[(i*7)%len(vals)]
+		live.Add(x)
+		xs = append(xs, x)
+		got, want := live.Stats(), Latencies(xs)
+		if got.N != want.N || got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+			t.Fatalf("after %d duplicate-heavy adds: Live %+v != Latencies %+v", i+1, got, want)
+		}
+	}
+
+	var flat Live
+	for i := 0; i < 40; i++ {
+		flat.Add(0.0625)
+	}
+	got := flat.Stats()
+	if got.N != 40 || got.Mean != 0.0625 || got.P50 != 0.0625 || got.P95 != 0.0625 || got.P99 != 0.0625 {
+		t.Fatalf("all-identical sample summarised to %+v, want every statistic 0.0625", got)
+	}
+}

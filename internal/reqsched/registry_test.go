@@ -80,7 +80,7 @@ func TestFactoriesReturnFreshInstances(t *testing.T) {
 	}
 	active := []Request{{ID: 0}, {ID: 1}}
 	a.Next(0, active)
-	a.Stepped(0, false)
+	a.Stepped(0, nil)
 	// b's cursor must be untouched by a's progress.
 	if got := b.Next(0, active); got != 0 {
 		t.Fatalf("fresh round-robin started at index %d, want 0", got)

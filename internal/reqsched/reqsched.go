@@ -40,10 +40,15 @@ type Scheduler interface {
 	// active is never empty and now is the simulation clock. The index
 	// must be in [0, len(active)).
 	Next(now float64, active []Request) int
-	// Stepped reports the outcome of the step the scheduler just
-	// picked: the index it returned from Next and whether that request
-	// finished and was removed from active (the slice closes up, so a
-	// cursor at idx then points at the next request). Stateless
+	// Stepped reports the outcome of the iteration the scheduler just
+	// picked for: idx is the index it returned from Next, and removed
+	// lists every index (into the active slice Next saw, ascending)
+	// whose request finished this iteration and left the set. With
+	// batch formers a merged iteration can complete co-members at any
+	// index — not just the pick — and the active slice closes up over
+	// all of them at once, so cursor-style policies need the full
+	// removal set to keep their place. An unbatched step passes either
+	// nil (the pick survived) or [idx] (the pick finished). Stateless
 	// policies ignore it.
-	Stepped(idx int, removed bool)
+	Stepped(idx int, removed []int)
 }

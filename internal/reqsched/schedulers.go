@@ -24,7 +24,7 @@ func (FCFS) Next(_ float64, active []Request) int {
 }
 
 // Stepped implements Scheduler (stateless).
-func (FCFS) Stepped(int, bool) {}
+func (FCFS) Stepped(int, []int) {}
 
 // RoundRobin cycles over the active set, one step each — the Session's
 // historical hard-coded behaviour, kept as the default policy. The
@@ -49,10 +49,25 @@ func (r *RoundRobin) Next(_ float64, active []Request) int {
 	return r.cursor
 }
 
-// Stepped implements Scheduler: advance past a surviving request, stay
-// put over a removed one.
-func (r *RoundRobin) Stepped(_ int, removed bool) {
-	if !removed {
+// Stepped implements Scheduler: re-anchor the cursor on the picked
+// request's post-compaction position — its old index minus every
+// removal below it — then advance past it if it survived. Counting the
+// whole removal set (not just the pick) keeps the rotation intact when
+// a merged batch completes co-members at lower indices: with the old
+// pick-only accounting the compaction shifted the slice under the
+// cursor and the next pick skipped a request.
+func (r *RoundRobin) Stepped(idx int, removed []int) {
+	below, self := 0, false
+	for _, i := range removed {
+		if i < idx {
+			below++
+		}
+		if i == idx {
+			self = true
+		}
+	}
+	r.cursor = idx - below
+	if !self {
 		r.cursor++
 	}
 }
@@ -93,7 +108,7 @@ func sjfLess(a, b Request) bool {
 }
 
 // Stepped implements Scheduler (stateless).
-func (SJF) Stepped(int, bool) {}
+func (SJF) Stepped(int, []int) {}
 
 // EDF is earliest-deadline-first: the request whose completion deadline
 // expires soonest advances. Requests without a deadline sort after every
@@ -136,4 +151,4 @@ func effectiveDeadline(r Request) float64 {
 }
 
 // Stepped implements Scheduler (stateless).
-func (EDF) Stepped(int, bool) {}
+func (EDF) Stepped(int, []int) {}

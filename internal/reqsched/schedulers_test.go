@@ -23,10 +23,11 @@ func drain(t *testing.T, s Scheduler, active []Request) []int {
 			t.Fatalf("%s picked index %d of %d", s.Name(), idx, len(active))
 		}
 		active[idx].RemainingDecode--
-		removed := active[idx].RemainingDecode <= 0
-		if removed {
+		var removed []int
+		if active[idx].RemainingDecode <= 0 {
 			completed = append(completed, active[idx].ID)
 			active = append(active[:idx], active[idx+1:]...)
+			removed = []int{idx}
 		}
 		s.Stepped(idx, removed)
 	}
@@ -145,9 +146,10 @@ func TestRoundRobinCursorSemantics(t *testing.T) {
 		idx := rr.Next(0, active)
 		stepOrder = append(stepOrder, active[idx].ID)
 		active[idx].RemainingDecode--
-		removed := active[idx].RemainingDecode <= 0
-		if removed {
+		var removed []int
+		if active[idx].RemainingDecode <= 0 {
 			active = append(active[:idx], active[idx+1:]...)
+			removed = []int{idx}
 		}
 		rr.Stepped(idx, removed)
 	}
@@ -157,5 +159,99 @@ func TestRoundRobinCursorSemantics(t *testing.T) {
 	want := []int{0, 1, 2, 1, 2}
 	if !reflect.DeepEqual(stepOrder, want) {
 		t.Fatalf("round-robin step order %v, want %v", stepOrder, want)
+	}
+}
+
+// TestRoundRobinMultiRemovalKeepsRotation is the regression test for
+// the batch-compaction cursor skew: when a merged iteration completes a
+// co-member at an index below the cursor, the compaction shifts the
+// active slice left and the cursor must shift with it. The old
+// pick-only Stepped(idx, removedBool) accounting left the cursor one
+// slot too far, so the next pick skipped a request — active [A,B,C,D]
+// with the cursor on B and A completing in B's batch made the next pick
+// land on D, starving C.
+func TestRoundRobinMultiRemovalKeepsRotation(t *testing.T) {
+	active := []Request{
+		{ID: 0, Seq: 0}, // A
+		{ID: 1, Seq: 1}, // B
+		{ID: 2, Seq: 2}, // C
+		{ID: 3, Seq: 3}, // D
+	}
+	rr := NewRoundRobin()
+	if idx := rr.Next(0, active); active[idx].ID != 0 {
+		t.Fatalf("first pick %d, want A", active[idx].ID)
+	}
+	rr.Stepped(0, nil) // A survives; cursor moves to B.
+	if idx := rr.Next(0, active); active[idx].ID != 1 {
+		t.Fatalf("second pick %d, want B", active[idx].ID)
+	}
+	// B's merged batch also advances A, and A completes: the slice
+	// compacts to [B,C,D] while the pick (index 1) survives.
+	active = active[1:]
+	rr.Stepped(1, []int{0})
+	idx := rr.Next(0, active)
+	if active[idx].ID != 2 {
+		t.Fatalf("pick after compaction %d, want C (the old cursor logic skips to D)", active[idx].ID)
+	}
+	rr.Stepped(idx, nil)
+	if idx := rr.Next(0, active); active[idx].ID != 3 {
+		t.Fatalf("rotation did not continue to D: picked %d", active[idx].ID)
+	}
+}
+
+// TestRoundRobinServesEachOncePerRotation drives the cursor through
+// randomized multi-removal iterations (the co-members of each batch
+// completing at arbitrary indices) and checks the fairness invariant
+// the Session relies on: between two consecutive steps of the same
+// request, every other active request is served exactly once.
+func TestRoundRobinServesEachOncePerRotation(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(5)
+		active := make([]Request, n)
+		for i := range active {
+			active[i] = Request{ID: i, Seq: i, RemainingDecode: 1 + rng.Intn(4)}
+		}
+		rr := NewRoundRobin()
+		served := map[int]int{} // steps served per request
+		for guard := 0; len(active) > 0; guard++ {
+			if guard > 1000 {
+				t.Fatal("rotation failed to drain")
+			}
+			idx := rr.Next(0, active)
+			picked := active[idx].ID
+			served[picked]++
+			// The pick decodes one token; a random co-member (possibly
+			// below the pick) may also advance and complete, the merged
+			// batch case.
+			var removed []int
+			active[idx].RemainingDecode--
+			co := rng.Intn(len(active))
+			if co != idx {
+				active[co].RemainingDecode--
+			}
+			for i := len(active) - 1; i >= 0; i-- {
+				if active[i].RemainingDecode <= 0 {
+					active = append(active[:i], active[i+1:]...)
+					removed = append([]int{i}, removed...)
+				}
+			}
+			rr.Stepped(idx, removed)
+			// Fairness check: no live request is ever two full
+			// rotations behind the front-runner.
+			minS, maxS := 1<<30, 0
+			for _, r := range active {
+				s := served[r.ID]
+				if s < minS {
+					minS = s
+				}
+				if s > maxS {
+					maxS = s
+				}
+			}
+			if len(active) > 0 && maxS-minS > 1 {
+				t.Fatalf("trial %d: rotation skew %d (served %v, active %v)", trial, maxS-minS, served, active)
+			}
+		}
 	}
 }

@@ -134,6 +134,12 @@ type Request struct {
 	// request after every deadlined one, and violation accounting skips
 	// it.
 	Deadline float64
+	// Arrival is the absolute simulation-clock instant the request
+	// enters the system, in seconds. The Session holds the request until
+	// its clock reaches it, and the request's TTFT is measured from it
+	// (queue wait included). 0 means the request is present from the
+	// start — the closed-queue behaviour open-loop arrivals replace.
+	Arrival float64
 }
 
 // Stream generates a deterministic request sequence mixing datasets.
@@ -141,6 +147,12 @@ type Stream struct {
 	rng      *stats.RNG
 	datasets []Dataset
 	next     int
+	// arrivals, when attached, stamps each request's Arrival from its
+	// own derived RNG stream, so attaching a process never perturbs the
+	// prompt/decode draws of an otherwise identical stream.
+	arrivals   ArrivalProcess
+	arrivalRNG *stats.RNG
+	clock      float64
 }
 
 // NewStream returns a stream drawing uniformly from datasets. It panics
@@ -149,7 +161,25 @@ func NewStream(seed uint64, datasets ...Dataset) *Stream {
 	if len(datasets) == 0 {
 		panic("workload: stream needs at least one dataset")
 	}
-	return &Stream{rng: stats.NewRNG(seed), datasets: datasets}
+	return &Stream{
+		rng:        stats.NewRNG(seed),
+		datasets:   datasets,
+		arrivalRNG: stats.NewRNG(seed ^ 0xa881_7a1e_0f2b_9c4d),
+	}
+}
+
+// WithArrivals attaches an open-loop arrival process: every subsequent
+// Next stamps Request.Arrival with the running arrival clock advanced by
+// one inter-arrival gap. The gaps draw from a dedicated RNG stream, so
+// two same-seed streams — one with arrivals, one without — produce
+// identical prompt/decode sequences and differ only in the stamp. It
+// returns the stream for chaining and panics on a nil process.
+func (s *Stream) WithArrivals(p ArrivalProcess) *Stream {
+	if p == nil {
+		panic("workload: WithArrivals(nil)")
+	}
+	s.arrivals = p
+	return s
 }
 
 // Next draws the next request. Decode length is exponential around the
@@ -166,6 +196,10 @@ func (s *Stream) Next() Request {
 		PromptTokens: d.SampleLength(s.rng),
 		DecodeTokens: decode,
 	}
+	if s.arrivals != nil {
+		s.clock += s.arrivals.Gap(s.arrivalRNG)
+		r.Arrival = s.clock
+	}
 	s.next++
 	return r
 }
@@ -179,12 +213,30 @@ func (s *Stream) NextN(n int) []Request {
 	return out
 }
 
+// CapDecode clamps every request's decode length to limit tokens — the
+// knob studies and the CLI use to keep runs simulation-cheap while
+// preserving the prefill/decode mix. A non-positive limit is a no-op
+// (uncapped).
+func CapDecode(reqs []Request, limit int) {
+	if limit <= 0 {
+		return
+	}
+	for i := range reqs {
+		if reqs[i].DecodeTokens > limit {
+			reqs[i].DecodeTokens = limit
+		}
+	}
+}
+
 // AssignDeadlines gives every request a completion deadline proportional
-// to its size: base + perToken × (prompt + decode) seconds, the shape of
-// a per-token latency SLO. Larger requests get proportionally more time,
-// so deadline order differs from plain size order only through base.
-// Negative parameters panic; requests already carrying a deadline keep
-// it.
+// to its size: Arrival + base + perToken × (prompt + decode) seconds,
+// the shape of a per-token latency SLO. The budget is arrival-relative —
+// a request cannot be born violated just because it arrives late — and
+// the stored Deadline stays an absolute simulation-clock target (for a
+// closed queue, Arrival is 0 and the two coincide). Larger requests get
+// proportionally more time, so deadline order differs from plain size
+// order only through base and arrival. Negative parameters panic;
+// requests already carrying a deadline keep it.
 func AssignDeadlines(reqs []Request, base, perToken float64) {
 	if base < 0 || perToken < 0 {
 		panic(fmt.Sprintf("workload: negative deadline parameters base=%v perToken=%v", base, perToken))
@@ -193,6 +245,6 @@ func AssignDeadlines(reqs []Request, base, perToken float64) {
 		if reqs[i].Deadline != 0 {
 			continue
 		}
-		reqs[i].Deadline = base + perToken*float64(reqs[i].PromptTokens+reqs[i].DecodeTokens)
+		reqs[i].Deadline = reqs[i].Arrival + base + perToken*float64(reqs[i].PromptTokens+reqs[i].DecodeTokens)
 	}
 }

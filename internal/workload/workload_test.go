@@ -176,6 +176,50 @@ func TestAssignDeadlines(t *testing.T) {
 	}
 }
 
+// TestAssignDeadlinesArrivalRelative pins the open-loop contract: the
+// deadline budget starts at the request's arrival, not at t=0, so a
+// late-arriving request is not born violated. Two requests of equal
+// size must get equal budgets regardless of when they arrive.
+func TestAssignDeadlinesArrivalRelative(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, PromptTokens: 10, DecodeTokens: 5},
+		{ID: 1, PromptTokens: 10, DecodeTokens: 5, Arrival: 7.5},
+	}
+	AssignDeadlines(reqs, 2, 0.01)
+	budget := 2 + 0.01*15
+	if reqs[0].Deadline != budget {
+		t.Fatalf("closed-queue request deadline %v, want %v", reqs[0].Deadline, budget)
+	}
+	if want := 7.5 + budget; reqs[1].Deadline != want {
+		t.Fatalf("late-arriving request deadline %v, want arrival-relative %v", reqs[1].Deadline, want)
+	}
+	if reqs[1].Deadline <= reqs[1].Arrival {
+		t.Fatalf("request born violated: arrival %v, deadline %v", reqs[1].Arrival, reqs[1].Deadline)
+	}
+}
+
+func TestCapDecode(t *testing.T) {
+	mk := func() []Request {
+		return []Request{
+			{ID: 0, PromptTokens: 8, DecodeTokens: 20},
+			{ID: 1, PromptTokens: 8, DecodeTokens: 3},
+		}
+	}
+	reqs := mk()
+	CapDecode(reqs, 5)
+	if reqs[0].DecodeTokens != 5 || reqs[1].DecodeTokens != 3 {
+		t.Fatalf("CapDecode(5) = %+v, want clamp to 5 / keep 3", reqs)
+	}
+	// Non-positive limits are uncapped no-ops.
+	for _, limit := range []int{0, -1} {
+		reqs := mk()
+		CapDecode(reqs, limit)
+		if reqs[0].DecodeTokens != 20 || reqs[1].DecodeTokens != 3 {
+			t.Fatalf("CapDecode(%d) mutated requests: %+v", limit, reqs)
+		}
+	}
+}
+
 func TestAssignDeadlinesPanicsOnNegative(t *testing.T) {
 	defer func() {
 		if recover() == nil {
