@@ -1,0 +1,49 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero-hidden", []string{"-hidden", "0"}, "-hidden"},
+		{"negative-inter", []string{"-inter", "-4"}, "-inter"},
+		{"zero-reps", []string{"-reps", "0"}, "-reps"},
+		{"unknown-flag", []string{"-bogus"}, "bogus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) should fail", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// A -reps 1 smoke run on a tiny probe kernel: the calibration must
+// complete and report a positive throughput next to the preset.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing loop, skipped with -short")
+	}
+	var b strings.Builder
+	if err := run([]string{"-hidden", "32", "-inter", "64", "-reps", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"measured throughput", "warm-up penalty", "preset (", "fitted ("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("calibration report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -16,6 +16,8 @@
 //
 // Serve flags (see `hybrimoe serve -h` for the full set):
 //
+//	-gpus N             A6000 GPUs in the platform (per-device caches and links)
+//	-sched NAME         intra-layer scheduler (expert-parallel spreads over N GPUs)
 //	-reqsched NAME      request scheduler: fcfs, round-robin, sjf, edf
 //	-batch NAME         batch former: none, greedy, phase-aware
 //	-batch-budget N     token budget per merged iteration
@@ -41,6 +43,7 @@ import (
 	"hybrimoe/internal/moe"
 	"hybrimoe/internal/report"
 	"hybrimoe/internal/reqsched"
+	"hybrimoe/internal/sched"
 	"hybrimoe/internal/workload"
 )
 
@@ -62,6 +65,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 2025, "trace seed")
 	steps := fs.Int("steps", 50, "decode iterations per configuration")
 	quick := fs.Bool("quick", false, "reduced iteration counts")
+	short := fs.Bool("short", false, "alias for -quick (CI smoke runs)")
 
 	switch cmd {
 	case "list":
@@ -82,7 +86,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		p := params(*seed, *steps, *quick)
+		p := params(*seed, *steps, *quick || *short)
 		e.Run(p).Render(os.Stdout)
 		return nil
 
@@ -90,7 +94,7 @@ func run(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		exp.RunAll(os.Stdout, params(*seed, *steps, *quick))
+		exp.RunAll(os.Stdout, params(*seed, *steps, *quick || *short))
 		return nil
 
 	case "demo":
@@ -123,7 +127,9 @@ func run(args []string) error {
 
 	case "serve":
 		model := fs.String("model", "DeepSeek", "model name (DeepSeek, Mixtral, Qwen2)")
-		ratio := fs.Float64("cache", 0.25, "GPU expert cache ratio")
+		ratio := fs.Float64("cache", 0.25, "GPU expert cache ratio (per GPU)")
+		gpus := fs.Int("gpus", 1, "A6000 GPUs in the platform (each with its own PCIe link)")
+		schedName := fs.String("sched", "hybrimoe", "intra-layer scheduler: "+strings.Join(sched.Names(), ", "))
 		requests := fs.Int("requests", 8, "requests to draw from the workload stream")
 		concurrent := fs.Int("concurrent", 2, "requests served at once (phases interleave)")
 		decodeCap := fs.Int("decode-cap", 16, "cap on decode tokens per request, 0 = uncapped")
@@ -145,7 +151,7 @@ func run(args []string) error {
 			return err
 		}
 		sc := serveConfig{
-			cfg: cfg, ratio: *ratio, seed: *seed,
+			cfg: cfg, ratio: *ratio, seed: *seed, gpus: *gpus, sched: *schedName,
 			requests: *requests, concurrent: *concurrent, decodeCap: *decodeCap,
 			reqSched: *reqSched, batch: *batch, batchBudget: *batchBudget,
 			sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
@@ -164,6 +170,8 @@ type serveConfig struct {
 	cfg                  *moe.Config
 	ratio                float64
 	seed                 uint64
+	gpus                 int
+	sched                string
 	requests, concurrent int
 	decodeCap            int
 	reqSched             string
@@ -228,6 +236,9 @@ func serve(sc serveConfig) error {
 	if sc.deadline < 0 {
 		return fmt.Errorf("-deadline %v must be non-negative", sc.deadline)
 	}
+	if sc.gpus < 1 {
+		return fmt.Errorf("-gpus %d must be at least 1", sc.gpus)
+	}
 	opts := []engine.Option{
 		engine.WithCacheRatio(sc.ratio),
 		engine.WithSeed(sc.seed),
@@ -238,7 +249,11 @@ func serve(sc serveConfig) error {
 	if admitting {
 		opts = append(opts, engine.WithAdmission(engine.NewSLOAdmission(sc.sloTTFT, sc.sloTBT)))
 	}
-	e, err := engine.New(sc.cfg, hw.A6000Platform(), engine.HybriMoEFramework(), opts...)
+	fw := engine.HybriMoEFramework()
+	if sc.sched != "" {
+		fw.Sched = sc.sched
+	}
+	e, err := engine.New(sc.cfg, hw.MultiA6000Platform(sc.gpus), fw, opts...)
 	if err != nil {
 		return err
 	}
@@ -267,6 +282,9 @@ func serve(sc serveConfig) error {
 
 	fmt.Printf("serving %d requests on %s (%.0f%% cache, ≤%d concurrent, %s scheduling",
 		len(reqs), sc.cfg.Name, sc.ratio*100, sc.concurrent, sc.reqSched)
+	if sc.gpus > 1 {
+		fmt.Printf(", %d GPUs via %s", sc.gpus, sc.sched)
+	}
 	if sc.traceIn != "" {
 		fmt.Printf(", replaying %s", sc.traceIn)
 	} else if sc.arrivals != "none" {
@@ -319,7 +337,7 @@ func serve(sc serveConfig) error {
 		}
 	})
 
-	fmt.Printf("\nsteps: %d   cache hit rate: %.1f%%\n", s.Steps(), 100*e.Cache().HitRate())
+	fmt.Printf("\nsteps: %d   cache hit rate: %.1f%%\n", s.Steps(), 100*e.Caches().HitRate())
 	if sc.batch != "none" {
 		computeSteps := len(ttfts) + len(tbts)
 		meanBatch := 0.0

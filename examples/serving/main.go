@@ -78,7 +78,7 @@ func main() {
 			}
 		}
 	})
-	fmt.Printf("\n%d steps, cache hit rate %.1f%%\n", s.Steps(), 100*e.Cache().HitRate())
+	fmt.Printf("\n%d steps, cache hit rate %.1f%%\n", s.Steps(), 100*e.Caches().HitRate())
 	fmt.Printf("TTFT  %s\n", report.Latencies(ttfts))
 	fmt.Printf("TBT   %s\n", report.Latencies(tbts))
 

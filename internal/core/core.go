@@ -96,8 +96,9 @@ func (s *System) Session(opts ...engine.SessionOption) *engine.Session {
 // returns its latency (the paper's TTFT metric).
 func (s *System) Prefill(tokens int) engine.Result { return s.eng.RunPrefill(tokens) }
 
-// CacheHitRate reports the expert cache hit rate so far.
-func (s *System) CacheHitRate() float64 { return s.eng.Cache().HitRate() }
+// CacheHitRate reports the expert cache hit rate so far, aggregated
+// across every GPU's shard on multi-GPU platforms.
+func (s *System) CacheHitRate() float64 { return s.eng.Caches().HitRate() }
 
 // Gantt renders the execution timelines recorded with
 // Config.RecordTrace ("" otherwise).

@@ -86,7 +86,7 @@ func TestCompareFrameworks(t *testing.T) {
 
 func TestCompareFrameworksPropagatesErrors(t *testing.T) {
 	badPlatform := hw.A6000Platform()
-	badPlatform.GPU.PeakFlops = 0
+	badPlatform.GPUs[0].PeakFlops = 0
 	if _, err := CompareFrameworks(moe.DeepSeek(), badPlatform, 0.25, 3, true, 2); err == nil {
 		t.Fatal("invalid platform should error")
 	}

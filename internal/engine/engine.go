@@ -20,8 +20,17 @@ type Engine struct {
 	fw       Framework
 	set      settings
 
-	gen   *trace.Generator
-	cache *cache.Cache
+	gen *trace.Generator
+	// cache is the full per-device expert cache; placeCache is the
+	// slice of it placement may use — the whole thing for device-aware
+	// schedulers, GPU0's shard alone for single-GPU planners (a plan
+	// that runs a GPU1-resident expert on GPU0 without a transfer is
+	// not physical, so their residency view is confined too).
+	cache      *cache.Multi
+	placeCache *cache.Multi
+	// placeGPUs is how many devices placement spreads over (1 for
+	// single-GPU planners regardless of the platform's GPU count).
+	placeGPUs int
 	// decodeSched and prefillSched are the per-stage scheduling
 	// strategies; scheduler points at the one for the current stage.
 	decodeSched  sched.Scheduler
@@ -30,14 +39,18 @@ type Engine struct {
 	pref         prefetch.Prefetcher
 	gpuLayers    int // LayerMapped: leading layers resident on GPU
 
-	// Absolute resource occupancy (seconds since run start).
-	cpuBusy, gpuBusy, linkBusy float64
-	clock                      float64
+	// Absolute resource occupancy (seconds since run start); gpuBusy and
+	// linkBusy hold one frontier per GPU / host link.
+	cpuBusy  float64
+	gpuBusy  []float64
+	linkBusy []float64
+	clock    float64
 	// curTokens is the current step's batch size (prefetch load
 	// prediction scales with it).
 	curTokens int
 
-	cpuTL, gpuTL, linkTL *sim.Timeline
+	cpuTL           *sim.Timeline
+	gpuTLs, linkTLs []*sim.Timeline
 
 	stats RunStats
 }
@@ -128,23 +141,60 @@ func New(cfg *moe.Config, platform *hw.Platform, fw Framework, opts ...Option) (
 			return nil, err
 		}
 	}
-	policy, err := cache.NewPolicy(fw.CachePolicy, cfg.ActivatedExperts)
-	if err != nil {
-		return nil, err
-	}
+	gpus := platform.NumGPUs()
 	capacity := cfg.CacheCapacity(set.cacheRatio)
 	if set.cacheRatio == 0 {
 		// The explicit zero-cache baseline: CacheCapacity floors at one
 		// expert, but a requested ratio of exactly 0 means none.
 		capacity = 0
 	}
-	e.cache = cache.New(capacity, policy)
+	// One residency shard per GPU, each with the full per-device
+	// capacity and its own policy instance (policies are stateful).
+	shards := make([]*cache.Cache, gpus)
+	for d := 0; d < gpus; d++ {
+		policy, err := cache.NewPolicy(fw.CachePolicy, cfg.ActivatedExperts)
+		if err != nil {
+			return nil, err
+		}
+		shards[d] = cache.New(capacity, policy)
+	}
+	e.cache = cache.NewMulti(shards...)
+	e.placeCache = e.cache
+	e.placeGPUs = gpus
+	decAware := sched.IsDeviceAware(e.decodeSched)
+	preAware := sched.IsDeviceAware(e.prefillSched)
+	if gpus > 1 && decAware != preAware {
+		// One stage would spread residency over every device while the
+		// other can only see GPU0 — the confined stage would treat the
+		// spread experts as missing and re-transfer them forever. Reject
+		// the mix instead of serving it wrong.
+		return nil, fmt.Errorf(
+			"engine: mixed device-aware and single-GPU stage schedulers (decode %q, prefill %q) on a %d-GPU platform",
+			e.decodeSched.Name(), e.prefillSched.Name(), gpus)
+	}
+	if !decAware || !preAware {
+		e.placeGPUs = 1
+		if gpus > 1 {
+			e.placeCache = cache.NewMulti(shards[0])
+		}
+	}
+	e.gpuBusy = make([]float64, gpus)
+	e.linkBusy = make([]float64, gpus)
 	e.warmCache()
 
 	if set.recordTrace {
 		e.cpuTL = sim.NewTimeline("CPU")
-		e.gpuTL = sim.NewTimeline("GPU")
-		e.linkTL = sim.NewTimeline("PCIe")
+		e.gpuTLs = make([]*sim.Timeline, gpus)
+		e.linkTLs = make([]*sim.Timeline, gpus)
+		for d := 0; d < gpus; d++ {
+			gpuName, linkName := "GPU", "PCIe"
+			if gpus > 1 {
+				gpuName = hw.GPUAt(d).String()
+				linkName = "PCIe" + fmt.Sprint(d)
+			}
+			e.gpuTLs[d] = sim.NewTimeline(gpuName)
+			e.linkTLs[d] = sim.NewTimeline(linkName)
+		}
 	}
 	return e, nil
 }
@@ -168,7 +218,7 @@ func (e *Engine) warmCache() {
 			for _, x := range hist.Activated(l) {
 				counts[moe.ExpertID{Layer: l, Index: x}]++
 			}
-			e.cache.ObserveScores(l, hist.Scores(l))
+			e.placeCache.ObserveScores(l, hist.Scores(l))
 		}
 	}
 	ids := make([]moe.ExpertID, 0, len(counts))
@@ -186,31 +236,52 @@ func (e *Engine) warmCache() {
 	})
 	if e.fw.PinWarm {
 		for _, id := range ids {
-			if e.cache.Len() >= e.cache.Capacity() {
+			if e.placeCache.Len() >= e.placeCache.Capacity() {
 				break
 			}
-			e.cache.Pin(id)
+			e.placeCache.Pin(id)
 		}
 		return
 	}
-	e.cache.Warm(ids)
+	e.placeCache.Warm(ids)
 	// Replay the history into the policy — least frequent first so the
 	// hottest experts end up both most counted and most recent — giving
 	// LFU counts and LRU recency the state of a long-running server
 	// instead of treating every warm expert as a one-hit wonder.
 	for i := len(ids) - 1; i >= 0; i-- {
 		for n := 0; n < counts[ids[i]]; n++ {
-			e.cache.TouchHistorical(ids[i])
+			e.placeCache.TouchHistorical(ids[i])
 		}
 	}
 }
 
-// isCached reports residency for scheduling decisions.
+// isCached reports residency (on any device) for scheduling decisions.
 func (e *Engine) isCached(id moe.ExpertID) bool {
+	_, ok := e.residentOn(id)
+	return ok
+}
+
+// residentOn reports which device holds an expert's weights, if any.
+// Layer-mapped frameworks pin their GPU layers to GPU0.
+func (e *Engine) residentOn(id moe.ExpertID) (hw.Device, bool) {
 	if e.fw.LayerMapped {
-		return id.Layer < e.gpuLayers
+		return hw.GPU, id.Layer < e.gpuLayers
 	}
-	return e.cache.Contains(id)
+	d, ok := e.placeCache.Owner(id)
+	return hw.GPUAt(d), ok
+}
+
+// homeDevice is the device an expert's transfers target when no plan
+// chose one: misses are attributed to it and prefetched weights land on
+// it. GPU0 on single-GPU platforms; striped deterministically across
+// devices otherwise, so placement (and the per-device caches) spread
+// the expert population evenly.
+func (e *Engine) homeDevice(id moe.ExpertID) hw.Device {
+	n := e.placeGPUs
+	if n == 1 {
+		return hw.GPU
+	}
+	return hw.GPUAt((id.Layer*e.cfg.RoutedExperts + id.Index) % n)
 }
 
 // attentionDevice reports where a layer's attention + shared experts
@@ -245,12 +316,15 @@ func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int, perL
 		attFlops := hw.AttentionFlops(e.cfg.Hidden, tokens, context) + e.cfg.SharedFlops(tokens)
 		attBytes := int64(4*e.cfg.Hidden*e.cfg.Hidden/2) +
 			e.cfg.SharedExpertBytes()*int64(e.cfg.SharedExperts)
+		// Attention runs on GPU0: tensor-parallel attention is not
+		// modelled, so the extra devices accelerate expert execution
+		// only.
 		var attEnd float64
 		if e.attentionDevice(act.Layer) == hw.GPU {
-			start := maxF(e.gpuBusy, layerStart)
-			attEnd = start + e.platform.GPU.ExpertTime(attFlops, attBytes)
-			e.reserveTL(e.gpuTL, start, attEnd, "attn")
-			e.gpuBusy = attEnd
+			start := maxF(e.gpuBusy[0], layerStart)
+			attEnd = start + e.platform.GPUs[0].ExpertTime(attFlops, attBytes)
+			e.reserveTL(e.gpuTL(0), start, attEnd, "attn")
+			e.gpuBusy[0] = attEnd
 		} else {
 			start := maxF(e.cpuBusy, layerStart)
 			attEnd = start + e.platform.CPU.ExpertTime(attFlops, attBytes, true)
@@ -272,14 +346,22 @@ func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int, perL
 				lookups = act.Loads[id.Index]
 			}
 			for n := 0; n < lookups; n++ {
-				e.cache.Lookup(id) // hit/miss statistics
+				// Hit/miss statistics; misses are attributed to the
+				// expert's home device.
+				e.placeCache.Lookup(id, e.homeDevice(id).GPUIndex())
 			}
 		}
-		tasks := sched.TasksFromLoads(e.cfg, act.Layer, act.Loads, e.isCached)
+		tasks := sched.TasksFromLoadsOn(e.cfg, act.Layer, act.Loads, e.residentOn)
 		res := sched.Resources{
-			CPUFree:  maxF(0, e.cpuBusy-layerStart),
-			GPUFree:  maxF(0, e.gpuBusy-layerStart),
-			LinkFree: maxF(0, e.linkBusy-layerStart),
+			CPUFree:   maxF(0, e.cpuBusy-layerStart),
+			GPUFree:   maxF(0, e.gpuBusy[0]-layerStart),
+			LinkFree:  maxF(0, e.linkBusy[0]-layerStart),
+			GPUFrees:  make([]float64, len(e.gpuBusy)),
+			LinkFrees: make([]float64, len(e.linkBusy)),
+		}
+		for d := range e.gpuBusy {
+			res.GPUFrees[d] = maxF(0, e.gpuBusy[d]-layerStart)
+			res.LinkFrees[d] = maxF(0, e.linkBusy[d]-layerStart)
 		}
 		plan := e.scheduler.Plan(tasks, e.platform, res)
 		if e.set.validatePlans {
@@ -293,7 +375,7 @@ func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int, perL
 		e.clock = layerEnd
 
 		// Cache policy sees this iteration's routing scores.
-		e.cache.ObserveScores(act.Layer, act.Scores)
+		e.placeCache.ObserveScores(act.Layer, act.Scores)
 
 		// Spend PCIe idle time: prefetch upcoming layers, then refresh
 		// the cache with this layer's misses if the framework does so.
@@ -304,6 +386,9 @@ func (e *Engine) runStep(acts []trace.LayerActivation, tokens, context int, perL
 }
 
 func (e *Engine) applyPlan(plan *sched.Plan, layerStart float64, active map[moe.ExpertID]bool) {
+	// Transfer destinations: the op's device says which shard receives
+	// the weights the plan moved.
+	dest := make(map[moe.ExpertID]int)
 	for _, op := range plan.Ops {
 		absStart, absEnd := layerStart+op.Start, layerStart+op.End
 		switch op.Kind {
@@ -312,25 +397,41 @@ func (e *Engine) applyPlan(plan *sched.Plan, layerStart float64, active map[moe.
 			e.reserveTL(e.cpuTL, absStart, absEnd, op.Expert.String())
 			e.cpuBusy = maxF(e.cpuBusy, absEnd)
 		case sched.OpComputeGPU:
+			d := op.Device.GPUIndex()
 			e.stats.GPUOps++
-			e.reserveTL(e.gpuTL, absStart, absEnd, op.Expert.String())
-			e.gpuBusy = maxF(e.gpuBusy, absEnd)
+			e.reserveTL(e.gpuTL(d), absStart, absEnd, op.Expert.String())
+			e.gpuBusy[d] = maxF(e.gpuBusy[d], absEnd)
 		case sched.OpTransfer:
+			d := op.Device.GPUIndex()
 			e.stats.DemandTransfers++
-			e.reserveTL(e.linkTL, absStart, absEnd, op.Expert.String())
-			e.linkBusy = maxF(e.linkBusy, absEnd)
+			e.reserveTL(e.linkTL(d), absStart, absEnd, op.Expert.String())
+			e.linkBusy[d] = maxF(e.linkBusy[d], absEnd)
+			dest[op.Expert] = d
 		}
 	}
 	protected := func(id moe.ExpertID) bool { return active[id] }
 	for _, id := range plan.Transferred {
-		e.cache.Insert(id, protected)
+		e.placeCache.Insert(id, dest[id], protected)
 	}
 }
 
-// prefetchInto spends PCIe idle time until layerEnd on upcoming layers.
+// prefetchInto spends PCIe idle time until layerEnd on upcoming layers,
+// each pick riding its target device's own host link.
 func (e *Engine) prefetchInto(layer int, layerEnd float64, active map[moe.ExpertID]bool) {
-	budget := layerEnd - e.linkBusy
-	if budget <= 0 {
+	// Only the links placement can target count: a confined single-GPU
+	// planner on an N-GPU platform must not see the idle extra links,
+	// or the prefetcher would price candidates it can never afford.
+	budgets := make([]float64, e.placeGPUs)
+	anyIdle := false
+	for d := range budgets {
+		budgets[d] = layerEnd - e.linkBusy[d]
+		if budgets[d] > 0 {
+			anyIdle = true
+		} else {
+			budgets[d] = 0
+		}
+	}
+	if !anyIdle {
 		return
 	}
 	curLayer := layer
@@ -338,7 +439,9 @@ func (e *Engine) prefetchInto(layer int, layerEnd float64, active map[moe.Expert
 		Cfg:      e.cfg,
 		Platform: e.platform,
 		Layer:    layer,
-		Budget:   budget,
+		Budget:   budgets[0],
+		Budgets:  budgets,
+		Target:   e.homeDevice,
 		PredictedLoads: func(l int) []int {
 			return e.predictedLoads(curLayer, l)
 		},
@@ -346,15 +449,19 @@ func (e *Engine) prefetchInto(layer int, layerEnd float64, active map[moe.Expert
 		Scheduler: e.scheduler,
 	}
 	picks := e.pref.Select(ctx)
-	xfer := e.platform.Link.TransferTime(e.cfg.ExpertBytes())
 	protected := func(id moe.ExpertID) bool { return active[id] }
 	for _, id := range picks {
-		if _, ok := e.cache.Insert(id, protected); !ok {
-			break
+		d := e.homeDevice(id).GPUIndex()
+		// A shard full of protected residents only blocks its own
+		// device's picks; on one device the failure repeats, matching
+		// the old early exit.
+		if _, ok := e.placeCache.Insert(id, d, protected); !ok {
+			continue
 		}
-		start := e.linkBusy
-		e.reserveTL(e.linkTL, start, start+xfer, "pf:"+id.String())
-		e.linkBusy = start + xfer
+		xfer := e.platform.Links[d].TransferTime(e.cfg.ExpertBytes())
+		start := e.linkBusy[d]
+		e.reserveTL(e.linkTL(d), start, start+xfer, "pf:"+id.String())
+		e.linkBusy[d] = start + xfer
 		e.stats.PrefetchTransfers++
 	}
 }
@@ -392,7 +499,6 @@ func (e *Engine) missInsert(act trace.LayerActivation, layerEnd float64, active 
 	if !e.fw.OnMissInsert {
 		return
 	}
-	xfer := e.platform.Link.TransferTime(e.cfg.ExpertBytes())
 	type missed struct {
 		id    moe.ExpertID
 		score float64
@@ -410,15 +516,22 @@ func (e *Engine) missInsert(act trace.LayerActivation, layerEnd float64, active 
 	sort.SliceStable(misses, func(i, j int) bool { return misses[i].score > misses[j].score })
 	protected := func(id moe.ExpertID) bool { return active[id] }
 	for _, m := range misses {
-		if e.linkBusy+xfer > layerEnd {
-			break
+		d := e.homeDevice(m.id).GPUIndex()
+		xfer := e.platform.Links[d].TransferTime(e.cfg.ExpertBytes())
+		// Skip, don't stop: a lower-scored miss may home to a different
+		// link with idle time (or a shard with evictable residents) even
+		// when this one's does not. On a single device the skip repeats
+		// for every remaining miss, so the outcome matches the old
+		// single-link early exit exactly.
+		if e.linkBusy[d]+xfer > layerEnd {
+			continue
 		}
-		if _, ok := e.cache.Insert(m.id, protected); !ok {
-			break
+		if _, ok := e.placeCache.Insert(m.id, d, protected); !ok {
+			continue
 		}
-		start := e.linkBusy
-		e.reserveTL(e.linkTL, start, start+xfer, "mi:"+m.id.String())
-		e.linkBusy = start + xfer
+		start := e.linkBusy[d]
+		e.reserveTL(e.linkTL(d), start, start+xfer, "mi:"+m.id.String())
+		e.linkBusy[d] = start + xfer
 		e.stats.MissInserts++
 	}
 }
@@ -430,13 +543,37 @@ func (e *Engine) reserveTL(tl *sim.Timeline, start, end float64, name string) {
 	tl.Reserve(start, end-start, name)
 }
 
-// Cache exposes the expert cache for analysis.
-func (e *Engine) Cache() *cache.Cache { return e.cache }
-
-// Timelines returns the recorded span timelines (nil without
+// gpuTL and linkTL return device d's recorded timeline (nil without
 // WithTraceRecording).
+func (e *Engine) gpuTL(d int) *sim.Timeline {
+	if e.gpuTLs == nil {
+		return nil
+	}
+	return e.gpuTLs[d]
+}
+
+func (e *Engine) linkTL(d int) *sim.Timeline {
+	if e.linkTLs == nil {
+		return nil
+	}
+	return e.linkTLs[d]
+}
+
+// Cache exposes GPU0's expert-cache shard — the whole cache on
+// single-GPU platforms. Multi-GPU analysis goes through Caches.
+func (e *Engine) Cache() *cache.Cache { return e.cache.Shard(0) }
+
+// Caches exposes the per-device expert cache for analysis.
+func (e *Engine) Caches() *cache.Multi { return e.cache }
+
+// NumGPUs reports the platform's GPU count.
+func (e *Engine) NumGPUs() int { return len(e.gpuBusy) }
+
+// Timelines returns the recorded span timelines for the CPU, GPU0 and
+// GPU0's link (nil without WithTraceRecording). Multi-GPU devices are
+// rendered by Gantt.
 func (e *Engine) Timelines() (cpu, gpu, link *sim.Timeline) {
-	return e.cpuTL, e.gpuTL, e.linkTL
+	return e.cpuTL, e.gpuTL(0), e.linkTL(0)
 }
 
 // Gantt renders the recorded timelines, or "" without WithTraceRecording.
@@ -444,7 +581,11 @@ func (e *Engine) Gantt(width int) string {
 	if e.cpuTL == nil {
 		return ""
 	}
-	return sim.Gantt(width, e.gpuTL, e.cpuTL, e.linkTL)
+	tls := make([]*sim.Timeline, 0, 1+2*len(e.gpuTLs))
+	tls = append(tls, e.gpuTLs...)
+	tls = append(tls, e.cpuTL)
+	tls = append(tls, e.linkTLs...)
+	return sim.Gantt(width, tls...)
 }
 
 func maxF(a, b float64) float64 {

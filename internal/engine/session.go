@@ -70,8 +70,20 @@ type StepEvent struct {
 	// Hits and Misses count expert-cache lookups during this step.
 	Hits, Misses int64
 	// CPUBusy, GPUBusy and LinkBusy report how far each resource's
-	// occupancy frontier advanced during this step (seconds).
+	// occupancy frontier advanced during this step (seconds). On
+	// multi-GPU platforms GPUBusy and LinkBusy are the sums across
+	// devices; the per-device split is in GPUBusyByDevice and
+	// LinkBusyByDevice.
 	CPUBusy, GPUBusy, LinkBusy float64
+	// GPUBusyByDevice and LinkBusyByDevice split GPUBusy/LinkBusy per
+	// GPU (index = device index). Single-GPU runs carry length-1
+	// vectors equal to the scalars; shed/deferral records carry nil.
+	GPUBusyByDevice  []float64
+	LinkBusyByDevice []float64
+	// Class echoes the request's SLO class label ("" when none), so
+	// consumers can slice violation and shed rates per class without a
+	// side table.
+	Class string
 	// Deadline echoes the request's completion deadline (0 when none),
 	// so consumers can count SLO violations — End past Deadline on the
 	// Done event — without a side table.
@@ -324,7 +336,8 @@ func (s *Session) admit() {
 				s.admEvents = append(s.admEvents, StepEvent{
 					Request: r.req.ID, Phase: PhaseShed,
 					Start: s.e.clock, End: s.e.clock,
-					Deadline: r.req.Deadline, Arrival: r.req.Arrival, Done: true,
+					Deadline: r.req.Deadline, Arrival: r.req.Arrival,
+					Class: r.req.Class, Done: true,
 				})
 				continue
 			case AdmissionDefer:
@@ -335,6 +348,7 @@ func (s *Session) admit() {
 						Request: r.req.ID, Phase: PhaseDeferred,
 						Start: s.e.clock, End: s.e.clock,
 						Deadline: r.req.Deadline, Arrival: r.req.Arrival,
+						Class: r.req.Class,
 					})
 				}
 				return
@@ -456,10 +470,12 @@ func (s *Session) stepSolo(idx int) StepEvent {
 	r := s.active[idx]
 
 	ev := StepEvent{Request: r.req.ID, Start: s.e.clock, Deadline: r.req.Deadline,
-		Arrival: r.req.Arrival, Batch: s.batches, BatchSize: 1}
+		Arrival: r.req.Arrival, Class: r.req.Class, Batch: s.batches, BatchSize: 1}
 	ev.Queued = s.queueWait(r, ev.Start)
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
-	cpu0, gpu0, link0 := s.e.cpuBusy, s.e.gpuBusy, s.e.linkBusy
+	cpu0 := s.e.cpuBusy
+	gpu0 := append([]float64(nil), s.e.gpuBusy...)
+	link0 := append([]float64(nil), s.e.linkBusy...)
 
 	if !r.prefilled && r.req.PromptTokens > 0 {
 		ev.Phase = PhasePrefill
@@ -494,8 +510,8 @@ func (s *Session) stepSolo(idx int) StepEvent {
 	ev.Hits = s.e.cache.Hits() - hits0
 	ev.Misses = s.e.cache.Misses() - misses0
 	ev.CPUBusy = maxF(0, s.e.cpuBusy-cpu0)
-	ev.GPUBusy = maxF(0, s.e.gpuBusy-gpu0)
-	ev.LinkBusy = maxF(0, s.e.linkBusy-link0)
+	ev.GPUBusyByDevice, ev.GPUBusy = busyDeltas(s.e.gpuBusy, gpu0)
+	ev.LinkBusyByDevice, ev.LinkBusy = busyDeltas(s.e.linkBusy, link0)
 	ev.Done = r.done()
 	s.steps++
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
@@ -574,7 +590,9 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 
 	start := s.e.clock
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
-	cpu0, gpu0, link0 := s.e.cpuBusy, s.e.gpuBusy, s.e.linkBusy
+	cpu0 := s.e.cpuBusy
+	gpu0 := append([]float64(nil), s.e.gpuBusy...)
+	link0 := append([]float64(nil), s.e.linkBusy...)
 
 	var acts []trace.LayerActivation
 	if allDecode {
@@ -593,8 +611,8 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 	hits := s.e.cache.Hits() - hits0
 	misses := s.e.cache.Misses() - misses0
 	cpu := maxF(0, s.e.cpuBusy-cpu0)
-	gpu := maxF(0, s.e.gpuBusy-gpu0)
-	link := maxF(0, s.e.linkBusy-link0)
+	gpu, _ := busyDeltas(s.e.gpuBusy, gpu0)
+	link, _ := busyDeltas(s.e.linkBusy, link0)
 	end := s.e.clock
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
 
@@ -610,6 +628,7 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 			Latency:  latency,
 			Deadline: r.req.Deadline,
 			Arrival:  r.req.Arrival,
+			Class:    r.req.Class,
 			Queued:   s.queueWait(r, start),
 			Batch:    s.batches,
 			// Token-share attribution, telescoped so member deltas sum
@@ -617,9 +636,19 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 			Hits:      hits*int64(next)/int64(total) - hits*int64(prev)/int64(total),
 			Misses:    misses*int64(next)/int64(total) - misses*int64(prev)/int64(total),
 			CPUBusy:   cpu*float64(next)/float64(total) - cpu*float64(prev)/float64(total),
-			GPUBusy:   gpu*float64(next)/float64(total) - gpu*float64(prev)/float64(total),
-			LinkBusy:  link*float64(next)/float64(total) - link*float64(prev)/float64(total),
 			BatchSize: len(batch),
+		}
+		// Per-device token-share splits, telescoped the same way; the
+		// scalars are their sums.
+		ev.GPUBusyByDevice = make([]float64, len(gpu))
+		ev.LinkBusyByDevice = make([]float64, len(link))
+		for d := range gpu {
+			ev.GPUBusyByDevice[d] = gpu[d]*float64(next)/float64(total) - gpu[d]*float64(prev)/float64(total)
+			ev.GPUBusy += ev.GPUBusyByDevice[d]
+		}
+		for d := range link {
+			ev.LinkBusyByDevice[d] = link[d]*float64(next)/float64(total) - link[d]*float64(prev)/float64(total)
+			ev.LinkBusy += ev.LinkBusyByDevice[d]
 		}
 		if !r.prefilled && r.req.PromptTokens > 0 {
 			ev.Phase = PhasePrefill
@@ -659,6 +688,18 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 	// under any cursor that only heard about the lead.
 	s.sched.Stepped(lead, removed)
 	return events
+}
+
+// busyDeltas reports each device's occupancy-frontier advance since the
+// prev snapshot, plus the summed advance the scalar event fields carry.
+func busyDeltas(cur, prev []float64) ([]float64, float64) {
+	out := make([]float64, len(cur))
+	var total float64
+	for d := range cur {
+		out[d] = maxF(0, cur[d]-prev[d])
+		total += out[d]
+	}
+	return out, total
 }
 
 // contextFor reports the KV context length for a request's next decode

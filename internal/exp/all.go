@@ -47,6 +47,9 @@ func Registry() []Experiment {
 		{"open-loop", "Open-loop Poisson arrivals × scheduler × batch former", func(p Params) Renderable {
 			return OpenLoopStudy(p, 10, 0.25)
 		}},
+		{"placement", "Multi-GPU placement: topology × scheduler × cache ratio", func(p Params) Renderable {
+			return PlacementStudy(p, 8)
+		}},
 		{"precision", "INT4 vs INT8 offloading trade-off", func(p Params) Renderable { return PrecisionStudy(p) }},
 	}
 }

@@ -159,7 +159,7 @@ func Fig3e() *report.Figure {
 		var cpuTotal, gpuTotal float64
 		for i := 0; i < n; i++ {
 			cpuTotal += platform.CPU.ExpertTime(cfg.ExpertFlops(1), cfg.ExpertBytes(), i == 0)
-			gpuTotal += platform.GPU.ExpertTime(cfg.ExpertFlops(1), cfg.ExpertBytes())
+			gpuTotal += platform.GPUs[0].ExpertTime(cfg.ExpertFlops(1), cfg.ExpertBytes())
 		}
 		cpu.AddPoint(float64(n), cpuTotal)
 		gpu.AddPoint(float64(n), gpuTotal)
@@ -177,7 +177,7 @@ func Fig3f() *report.Figure {
 	gpu := fig.AddSeries("GPU(s)")
 	for _, tokens := range []int{1, 64, 128, 256, 384, 512, 640, 768, 896, 1024} {
 		cpu.AddPoint(float64(tokens), platform.CPU.ExpertTime(cfg.ExpertFlops(tokens), cfg.ExpertBytes(), false))
-		gpu.AddPoint(float64(tokens), platform.GPU.ExpertTime(cfg.ExpertFlops(tokens), cfg.ExpertBytes()))
+		gpu.AddPoint(float64(tokens), platform.GPUs[0].ExpertTime(cfg.ExpertFlops(tokens), cfg.ExpertBytes()))
 	}
 	return fig
 }

@@ -20,7 +20,7 @@ func PrecisionStudy(p Params) *report.Table {
 	t := report.NewTable("Extension: INT4 vs INT8 expert offloading trade-off",
 		"model", "int4-bytes(MB)", "int8-bytes(MB)", "int4-xfer(ms)", "int8-xfer(ms)",
 		"int4-relL2", "int8-relL2")
-	link := hw.A6000Platform().Link
+	link := hw.A6000Platform().Links[0]
 
 	// Measured fidelity on a probe expert (scaled, real kernels).
 	rng := stats.NewRNG(p.Seed)

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"hybrimoe/internal/engine"
 	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
@@ -51,9 +53,14 @@ func ServingStudy(p Params, requests int, ratio float64) *report.Table {
 		ttft := report.Latencies(ttfts)
 		tbt := report.Latencies(tbts)
 		t.AddRow(fw.Name, ttft.Mean, ttft.P50, ttft.P95, ttft.P99,
-			tbt.P50, tbt.P95, tbt.P99, e.Cache().HitRate())
+			tbt.P50, tbt.P95, tbt.P99, e.Caches().HitRate())
 	}
 	return t
+}
+
+// classStats aggregates one SLO class's outcomes within a run.
+type classStats struct {
+	completed, violated, shed int
 }
 
 // policyRun aggregates one scheduler × admission serving run.
@@ -63,6 +70,28 @@ type policyRun struct {
 	ttft, tbt                         report.LatencyStats
 	// completion records each completed request's finish clock.
 	completion map[int]float64
+	// byClass slices completions, violations and sheds per SLO class
+	// (keyed by workload.Request.Class, echoed on every StepEvent).
+	byClass map[string]*classStats
+}
+
+// class returns (allocating on demand) the accumulator for label c.
+func (r *policyRun) class(c string) *classStats {
+	s, ok := r.byClass[c]
+	if !ok {
+		s = &classStats{}
+		r.byClass[c] = s
+	}
+	return s
+}
+
+// classViolationRate reports violated/completed for class c.
+func (r *policyRun) classViolationRate(c string) float64 {
+	s := r.byClass[c]
+	if s == nil || s.completed == 0 {
+		return 0
+	}
+	return float64(s.violated) / float64(s.completed)
 }
 
 // drivePolicy serves reqs through a fresh HybriMoE engine under the
@@ -84,7 +113,7 @@ func drivePolicy(p Params, ratio float64, reqs []workload.Request,
 	s := e.NewSession(engine.WithMaxConcurrent(3))
 	s.Submit(reqs...)
 
-	r := policyRun{completion: make(map[int]float64)}
+	r := policyRun{completion: make(map[int]float64), byClass: make(map[string]*classStats)}
 	var ttfts, tbts []float64
 	s.Run(func(ev engine.StepEvent) {
 		if ev.End > r.clockEnd {
@@ -97,18 +126,21 @@ func drivePolicy(p Params, ratio float64, reqs []workload.Request,
 			tbts = append(tbts, ev.Latency)
 		case engine.PhaseShed:
 			r.shed++
+			r.class(ev.Class).shed++
 			return
 		default:
 			return
 		}
 		if ev.Done {
 			r.completed++
+			r.class(ev.Class).completed++
 			r.completion[ev.Request] = ev.End
 			if ev.Deadline > 0 {
 				if ev.End <= ev.Deadline {
 					r.onTime++
 				} else {
 					r.violated++
+					r.class(ev.Class).violated++
 				}
 			}
 		}
@@ -124,24 +156,35 @@ func drivePolicy(p Params, ratio float64, reqs []workload.Request,
 // deadline calibrated from a baseline round-robin run (so some
 // deadlines are tight under contention), and the SLO admission targets
 // are set just below the baseline's p95s (so admission genuinely
-// binds). Reported per combination: goodput (deadline-met completions
-// per simulated second), SLO violation rate among completions, shed
-// fraction of offered load, and the p95 TTFT/TBT the served requests
-// saw.
+// binds). Requests are labelled with an SLO class — priority traffic is
+// "interactive", the rest "batch" — and the per-class violation and
+// shed rates ride alongside the aggregates, so the table shows whom
+// each policy sacrifices, not just how much. Reported per combination:
+// goodput (deadline-met completions per simulated second), SLO
+// violation rate among completions, shed fraction of offered load,
+// per-class violation and shed rates, and the p95 TTFT/TBT the served
+// requests saw.
 func ServingPolicyStudy(p Params, requests int, ratio float64) *report.Table {
 	t := report.NewTable("Serving policy study: request schedulers × admission (HybriMoE)",
 		"reqsched", "admission", "completed", "shed",
-		"goodput(req/s)", "violation-rate", "shed-fraction", "p95-TTFT(s)", "p95-TBT(s)")
+		"goodput(req/s)", "violation-rate", "shed-fraction",
+		"viol[inter/batch]", "shed[inter/batch]", "p95-TTFT(s)", "p95-TBT(s)")
 
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
 	reqs := stream.NextN(requests)
 	workload.CapDecode(reqs, p.DecodeSteps)
+	offered := map[string]int{}
 	for i := range reqs {
 		// Every third request is priority traffic the SLO guard may
-		// defer but never shed.
+		// defer but never shed; it forms the "interactive" SLO class,
+		// everything else the "batch" class.
 		if i%3 == 0 {
 			reqs[i].Priority = 1
+			reqs[i].Class = "interactive"
+		} else {
+			reqs[i].Class = "batch"
 		}
+		offered[reqs[i].Class]++
 	}
 
 	// Calibrate from the historical baseline (round-robin, open door):
@@ -184,8 +227,21 @@ func ServingPolicyStudy(p Params, requests int, ratio float64) *report.Table {
 			if r.completed > 0 {
 				violRate = float64(r.violated) / float64(r.completed)
 			}
+			shedRate := func(c string) float64 {
+				if offered[c] == 0 {
+					return 0
+				}
+				s := r.byClass[c]
+				if s == nil {
+					return 0
+				}
+				return float64(s.shed) / float64(offered[c])
+			}
 			t.AddRow(schedName, admName, r.completed, r.shed,
 				goodput, violRate, float64(r.shed)/float64(len(reqs)),
+				fmt.Sprintf("%.2f/%.2f",
+					r.classViolationRate("interactive"), r.classViolationRate("batch")),
+				fmt.Sprintf("%.2f/%.2f", shedRate("interactive"), shedRate("batch")),
 				r.ttft.P95, r.tbt.P95)
 		}
 	}

@@ -23,25 +23,46 @@ import (
 	"math"
 )
 
-// Device identifies a compute resource in schedules and traces.
+// Device identifies a compute resource in schedules and traces. The
+// CPU pool is the single negative value; every non-negative value
+// indexes a GPU in the platform's GPUs slice, so the zero value is GPU0
+// and single-GPU code keeps working untouched on N-device platforms.
 type Device int
 
-// Device values.
-const (
-	CPU Device = iota
-	GPU
-)
+// CPU is the host CPU pool.
+const CPU Device = -1
 
-// String names the device.
-func (d Device) String() string {
-	switch d {
-	case CPU:
-		return "CPU"
-	case GPU:
-		return "GPU"
-	default:
-		return fmt.Sprintf("Device(%d)", int(d))
+// GPU is the first (and on single-GPU platforms, only) accelerator —
+// device GPU0. Multi-GPU code addresses the others through GPUAt.
+const GPU Device = 0
+
+// GPUAt returns the device identity of the i-th GPU. It panics on a
+// negative index: that is a programming error, not a topology question.
+func GPUAt(i int) Device {
+	if i < 0 {
+		panic(fmt.Sprintf("hw: GPUAt(%d) with negative index", i))
 	}
+	return Device(i)
+}
+
+// IsGPU reports whether the device is an accelerator (any index).
+func (d Device) IsGPU() bool { return d >= 0 }
+
+// GPUIndex returns the device's position in Platform.GPUs. It panics
+// for the CPU, which has no such index.
+func (d Device) GPUIndex() int {
+	if d < 0 {
+		panic(fmt.Sprintf("hw: GPUIndex of non-GPU device %v", d))
+	}
+	return int(d)
+}
+
+// String names the device: "CPU", "GPU0", "GPU1", …
+func (d Device) String() string {
+	if d == CPU {
+		return "CPU"
+	}
+	return fmt.Sprintf("GPU%d", int(d))
 }
 
 // CPUModel is the analytic cost model for the host CPU pool executing
@@ -139,21 +160,81 @@ func (m LinkModel) Validate() error {
 	return nil
 }
 
-// Platform bundles the three resources the scheduler reasons about.
+// Platform bundles the resources the scheduler reasons about: one CPU
+// pool, N GPUs, and one host link per GPU (Links[i] feeds GPUs[i]).
+// Single-GPU platforms are the len-1 degenerate case; the historical
+// Platform.GPU/Link fields became GPUs[0]/Links[0].
 type Platform struct {
-	Name string
-	CPU  CPUModel
-	GPU  GPUModel
-	Link LinkModel
+	Name  string
+	CPU   CPUModel
+	GPUs  []GPUModel
+	Links []LinkModel
 }
 
-// Validate checks every component model.
+// Topology describes the device graph shape: how many GPUs the platform
+// carries and how many host links feed them.
+type Topology struct {
+	GPUs  int
+	Links int
+}
+
+// Validate reports an error for a malformed topology: no GPUs, or a
+// link count that does not pair one host link with each GPU.
+func (t Topology) Validate() error {
+	if t.GPUs < 1 {
+		return fmt.Errorf("hw: topology needs at least one GPU, have %d", t.GPUs)
+	}
+	if t.Links != t.GPUs {
+		return fmt.Errorf("hw: topology has %d links for %d GPUs (want one per GPU)", t.Links, t.GPUs)
+	}
+	return nil
+}
+
+// Topology reports the platform's device-graph shape.
+func (p *Platform) Topology() Topology {
+	return Topology{GPUs: len(p.GPUs), Links: len(p.Links)}
+}
+
+// NumGPUs reports how many GPUs the platform carries.
+func (p *Platform) NumGPUs() int { return len(p.GPUs) }
+
+// GPUOf returns the cost model of the GPU behind device d. It panics
+// for the CPU or an out-of-range device — both scheduler bugs.
+func (p *Platform) GPUOf(d Device) GPUModel {
+	i := d.GPUIndex()
+	if i >= len(p.GPUs) {
+		panic(fmt.Sprintf("hw: platform %q has %d GPUs, no %v", p.Name, len(p.GPUs), d))
+	}
+	return p.GPUs[i]
+}
+
+// LinkOf returns the host link feeding device d, with the same panics
+// as GPUOf.
+func (p *Platform) LinkOf(d Device) LinkModel {
+	i := d.GPUIndex()
+	if i >= len(p.Links) {
+		panic(fmt.Sprintf("hw: platform %q has %d links, no link for %v", p.Name, len(p.Links), d))
+	}
+	return p.Links[i]
+}
+
+// Validate checks the topology and every component model.
 func (p *Platform) Validate() error {
+	if err := p.Topology().Validate(); err != nil {
+		return fmt.Errorf("hw: platform %q: %w", p.Name, err)
+	}
 	if err := p.CPU.Validate(); err != nil {
 		return err
 	}
-	if err := p.GPU.Validate(); err != nil {
-		return err
+	for _, g := range p.GPUs {
+		if err := g.Validate(); err != nil {
+			return err
+		}
 	}
-	return p.Link.Validate()
+	for _, l := range p.Links {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -6,11 +6,40 @@ import (
 )
 
 func TestDeviceString(t *testing.T) {
-	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+	if CPU.String() != "CPU" || GPU.String() != "GPU0" {
 		t.Fatal("device names wrong")
 	}
-	if Device(9).String() != "Device(9)" {
-		t.Fatal("unknown device formatting wrong")
+	if GPUAt(1).String() != "GPU1" || Device(9).String() != "GPU9" {
+		t.Fatal("GPU device formatting wrong")
+	}
+}
+
+func TestDeviceIndexing(t *testing.T) {
+	if GPUAt(0) != GPU {
+		t.Fatal("GPUAt(0) must be the GPU0 constant")
+	}
+	if !GPU.IsGPU() || CPU.IsGPU() {
+		t.Fatal("IsGPU wrong")
+	}
+	if GPUAt(3).GPUIndex() != 3 {
+		t.Fatal("GPUIndex wrong")
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("GPUAt(-1)", func() { GPUAt(-1) })
+	mustPanic("CPU.GPUIndex", func() { CPU.GPUIndex() })
+	p := A6000Platform()
+	mustPanic("GPUOf out of range", func() { p.GPUOf(GPUAt(5)) })
+	mustPanic("LinkOf out of range", func() { p.LinkOf(GPUAt(5)) })
+	if p.GPUOf(GPU).Name != p.GPUs[0].Name || p.LinkOf(GPU).Name != p.Links[0].Name {
+		t.Fatal("GPUOf/LinkOf must resolve device 0 to the first models")
 	}
 }
 
@@ -44,15 +73,15 @@ func TestGPUModelFlatInWorkload(t *testing.T) {
 	p := A6000Platform()
 	flops1 := ExpertFlops(4096, 14336, 1)
 	bytes := int64(100 << 20)
-	t1 := p.GPU.ExpertTime(flops1, bytes)
-	t64 := p.GPU.ExpertTime(64*flops1, bytes)
+	t1 := p.GPUs[0].ExpertTime(flops1, bytes)
+	t64 := p.GPUs[0].ExpertTime(64*flops1, bytes)
 	// Figure 3(f): GPU time nearly flat for small workloads (memory/launch
 	// bound): 64 tokens should cost well under 2x one token.
 	if t64 > 2*t1 {
 		t.Fatalf("GPU should be ~flat at small workloads: t1=%v t64=%v", t1, t64)
 	}
 	// But very large workloads eventually become compute-bound.
-	tHuge := p.GPU.ExpertTime(100000*flops1, bytes)
+	tHuge := p.GPUs[0].ExpertTime(100000*flops1, bytes)
 	if tHuge <= 10*t1 {
 		t.Fatalf("GPU must eventually scale with compute: %v vs %v", tHuge, t1)
 	}
@@ -67,13 +96,13 @@ func TestCrossoverCPUFasterAtTinyLoadGPUFasterAtLarge(t *testing.T) {
 	bytes := int64(90 << 20) // ~Mixtral INT4 expert
 	// Decode: 1 token.
 	cpu1 := p.CPU.ExpertTime(ExpertFlops(hidden, inter, 1), bytes, false)
-	gpuMiss1 := p.Link.TransferTime(bytes) + p.GPU.ExpertTime(ExpertFlops(hidden, inter, 1), bytes)
+	gpuMiss1 := p.Links[0].TransferTime(bytes) + p.GPUs[0].ExpertTime(ExpertFlops(hidden, inter, 1), bytes)
 	if cpu1 >= gpuMiss1 {
 		t.Fatalf("decode miss: CPU %v should beat transfer+GPU %v", cpu1, gpuMiss1)
 	}
 	// Prefill: 512 tokens on one expert.
 	cpu512 := p.CPU.ExpertTime(ExpertFlops(hidden, inter, 512), bytes, false)
-	gpuMiss512 := p.Link.TransferTime(bytes) + p.GPU.ExpertTime(ExpertFlops(hidden, inter, 512), bytes)
+	gpuMiss512 := p.Links[0].TransferTime(bytes) + p.GPUs[0].ExpertTime(ExpertFlops(hidden, inter, 512), bytes)
 	if gpuMiss512 >= cpu512 {
 		t.Fatalf("prefill miss: transfer+GPU %v should beat CPU %v", gpuMiss512, cpu512)
 	}
@@ -101,12 +130,12 @@ func TestValidation(t *testing.T) {
 		t.Error("zero CPU throughput should fail validation")
 	}
 	bad2 := A6000Platform()
-	bad2.GPU.KernelLaunch = -1
+	bad2.GPUs[0].KernelLaunch = -1
 	if err := bad2.Validate(); err == nil {
 		t.Error("negative launch should fail validation")
 	}
 	bad3 := A6000Platform()
-	bad3.Link.BytesPerSec = 0
+	bad3.Links[0].BytesPerSec = 0
 	if err := bad3.Validate(); err == nil {
 		t.Error("zero link bandwidth should fail validation")
 	}
@@ -116,7 +145,7 @@ func TestValidation(t *testing.T) {
 		t.Error("negative warmup should fail validation")
 	}
 	bad5 := A6000Platform()
-	bad5.Link.Latency = -1
+	bad5.Links[0].Latency = -1
 	if err := bad5.Validate(); err == nil {
 		t.Error("negative latency should fail validation")
 	}
@@ -125,7 +154,7 @@ func TestValidation(t *testing.T) {
 func TestUnitPlatformSemantics(t *testing.T) {
 	p := UnitPlatform()
 	// One expert on the GPU = 1 unit regardless of load.
-	if got := p.GPU.ExpertTime(4, 1); math.Abs(got-1) > 1e-9 {
+	if got := p.GPUs[0].ExpertTime(4, 1); math.Abs(got-1) > 1e-9 {
 		t.Fatalf("unit GPU expert = %v, want 1", got)
 	}
 	// CPU load-4 expert = 4 units.
@@ -133,7 +162,7 @@ func TestUnitPlatformSemantics(t *testing.T) {
 		t.Fatalf("unit CPU load-4 = %v, want 4", got)
 	}
 	// Transfer = 3 units per expert (1 byte).
-	if got := p.Link.TransferTime(1); math.Abs(got-3) > 1e-9 {
+	if got := p.Links[0].TransferTime(1); math.Abs(got-3) > 1e-9 {
 		t.Fatalf("unit transfer = %v, want 3", got)
 	}
 }

@@ -1,10 +1,36 @@
 package hw
 
+import "fmt"
+
 // Presets approximate the paper's testbed and a smaller edge device. The
 // absolute constants are published datasheet/benchmark figures derated to
 // sustained values; the reproduction targets relative behaviour (who
 // wins, by what factor), which depends on the ratios rather than the
 // absolute magnitudes.
+
+// a6000GPU is the cost model of one RTX A6000 card.
+func a6000GPU() GPUModel {
+	return GPUModel{
+		Name: "rtx-a6000",
+		// Sustained INT4 tensor-core throughput (derated from the
+		// ~309 TOPS marketing peak).
+		PeakFlops: 1.0e14,
+		// GDDR6 ~768 GB/s, derated to sustained.
+		MemBandwidth: 6.0e11,
+		KernelLaunch: 2.2e-5,
+	}
+}
+
+// pcie4x16 is the host link one A6000 hangs off.
+func pcie4x16() LinkModel {
+	return LinkModel{
+		Name: "pcie4x16",
+		// ~32 GB/s theoretical, ~16-18 GB/s sustained for pinned
+		// host-to-device copies.
+		BytesPerSec: 1.6e10,
+		Latency:     1.5e-5,
+	}
+}
 
 // A6000Platform models the paper's evaluation platform: an NVIDIA RTX
 // A6000 (PCIe 4.0 x16) paired with an Intel Xeon Gold 5220R restricted
@@ -26,24 +52,38 @@ func A6000Platform() *Platform {
 			// Figure 3(e): roughly one extra expert-GEMV worth of time.
 			WarmupPenalty: 180e-6,
 		},
-		GPU: GPUModel{
-			Name: "rtx-a6000",
-			// Sustained INT4 tensor-core throughput (derated from the
-			// ~309 TOPS marketing peak).
-			PeakFlops: 1.0e14,
-			// GDDR6 ~768 GB/s, derated to sustained.
-			MemBandwidth: 6.0e11,
-			KernelLaunch: 2.2e-5,
-		},
-		Link: LinkModel{
-			Name: "pcie4x16",
-			// ~32 GB/s theoretical, ~16-18 GB/s sustained for pinned
-			// host-to-device copies.
-			BytesPerSec: 1.6e10,
-			Latency:     1.5e-5,
-		},
+		GPUs:  []GPUModel{a6000GPU()},
+		Links: []LinkModel{pcie4x16()},
 	}
 }
+
+// MultiA6000Platform scales the A6000 testbed to n GPUs, each with its
+// own PCIe 4.0 x16 host link (host lane contention between cards is not
+// modelled — each link sustains its full bandwidth). n = 1 is exactly
+// A6000Platform. It panics on a non-positive count.
+func MultiA6000Platform(n int) *Platform {
+	if n < 1 {
+		panic("hw: MultiA6000Platform needs at least one GPU")
+	}
+	p := A6000Platform()
+	if n == 1 {
+		return p
+	}
+	p.Name = fmt.Sprintf("a6000x%d-xeon5220r", n)
+	p.GPUs = make([]GPUModel, n)
+	p.Links = make([]LinkModel, n)
+	for i := 0; i < n; i++ {
+		p.GPUs[i] = a6000GPU()
+		p.Links[i] = pcie4x16()
+	}
+	return p
+}
+
+// DualA6000Platform is the 2-GPU sharded-serving preset.
+func DualA6000Platform() *Platform { return MultiA6000Platform(2) }
+
+// QuadA6000Platform is the 4-GPU sharded-serving preset.
+func QuadA6000Platform() *Platform { return MultiA6000Platform(4) }
 
 // LaptopPlatform models a smaller edge deployment (mobile GPU over PCIe
 // 4.0 x8, 6 performance cores). Used by scalability tests.
@@ -57,17 +97,17 @@ func LaptopPlatform() *Platform {
 			ExpertOverhead: 30e-6,
 			WarmupPenalty:  220e-6,
 		},
-		GPU: GPUModel{
+		GPUs: []GPUModel{{
 			Name:         "rtx4060m",
 			PeakFlops:    1.8e13,
 			MemBandwidth: 2.56e11,
 			KernelLaunch: 2.5e-5,
-		},
-		Link: LinkModel{
+		}},
+		Links: []LinkModel{{
 			Name:        "pcie4x8",
 			BytesPerSec: 8e9,
 			Latency:     2e-5,
-		},
+		}},
 	}
 }
 
@@ -84,16 +124,16 @@ func UnitPlatform() *Platform {
 			PeakFlops:    1,
 			MemBandwidth: 1e18, // never memory-bound
 		},
-		GPU: GPUModel{
+		GPUs: []GPUModel{{
 			Name:         "unit-gpu",
 			PeakFlops:    1e18, // compute time ~0
 			MemBandwidth: 1e18,
 			KernelLaunch: 1, // exactly 1 unit per expert
-		},
-		Link: LinkModel{
+		}},
+		Links: []LinkModel{{
 			Name:        "unit-link",
 			BytesPerSec: 1.0 / 3.0, // 1 byte := one expert, 3 units each
 			Latency:     0,
-		},
+		}},
 	}
 }

@@ -32,16 +32,59 @@ type Context struct {
 	Layer int
 	// Budget is the PCIe idle time (seconds) available before the next
 	// layer's own transfers need the link. Prefetchers must keep the
-	// summed transfer time of their picks within it.
+	// summed transfer time of their picks within it. On multi-GPU
+	// platforms it describes GPU0's link; Budgets carries the rest.
 	Budget float64
+	// Budgets, when non-nil, carries the idle time of every device's
+	// host link (index 0 takes precedence over Budget). Each pick spends
+	// its target device's budget, priced by that device's link model.
+	Budgets []float64
+	// Target reports the destination device for a candidate expert —
+	// whose link the transfer would ride and whose budget it spends.
+	// Nil means everything targets GPU0 (the single-link engine).
+	Target func(moe.ExpertID) hw.Device
 	// PredictedLoads estimates per-expert token loads for a future
 	// layer (absolute index). Entries of zero mean "not predicted
 	// active".
 	PredictedLoads func(layer int) []int
-	// IsCached reports current GPU residency.
+	// IsCached reports current GPU residency (on any device).
 	IsCached func(moe.ExpertID) bool
 	// Scheduler is the what-if simulator used to price candidates.
 	Scheduler sched.Scheduler
+}
+
+// target resolves a candidate's destination device.
+func (ctx Context) target(id moe.ExpertID) hw.Device {
+	if ctx.Target == nil {
+		return hw.GPU
+	}
+	return ctx.Target(id)
+}
+
+// budgets materialises the per-link budget vector the selection loops
+// draw down — a copy, so Select never mutates the caller's slice.
+func (ctx Context) budgets() []float64 {
+	if ctx.Budgets == nil {
+		return []float64{ctx.Budget}
+	}
+	out := make([]float64, len(ctx.Budgets))
+	copy(out, ctx.Budgets)
+	return out
+}
+
+// take spends one transfer of bytes to device d from the budget vector,
+// reporting whether it fit.
+func take(ctx Context, budgets []float64, d hw.Device, bytes int64) bool {
+	i := d.GPUIndex()
+	if i >= len(budgets) {
+		return false
+	}
+	xfer := ctx.Platform.LinkOf(d).TransferTime(bytes)
+	if budgets[i] < xfer {
+		return false
+	}
+	budgets[i] -= xfer
+	return true
 }
 
 // Prefetcher selects experts to preload.
@@ -99,15 +142,12 @@ func (NextLayerTopK) Select(ctx Context) []moe.ExpertID {
 		cands = append(cands, cand{id, load})
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].load > cands[j].load })
-	xfer := ctx.Platform.Link.TransferTime(ctx.Cfg.ExpertBytes())
-	budget := ctx.Budget
+	budgets := ctx.budgets()
 	var out []moe.ExpertID
 	for _, c := range cands {
-		if budget < xfer {
-			break
+		if take(ctx, budgets, ctx.target(c.id), ctx.Cfg.ExpertBytes()) {
+			out = append(out, c.id)
 		}
-		out = append(out, c.id)
-		budget -= xfer
 	}
 	return out
 }
@@ -134,8 +174,15 @@ func (p *ImpactDriven) Select(ctx Context) []moe.ExpertID {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	xfer := ctx.Platform.Link.TransferTime(ctx.Cfg.ExpertBytes())
-	if ctx.Budget < xfer {
+	budgets := ctx.budgets()
+	canAfford := false
+	for d := range budgets {
+		if budgets[d] >= ctx.Platform.Links[d].TransferTime(ctx.Cfg.ExpertBytes()) {
+			canAfford = true
+			break
+		}
+	}
+	if !canAfford {
 		return nil
 	}
 
@@ -173,14 +220,11 @@ func (p *ImpactDriven) Select(ctx Context) []moe.ExpertID {
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
 
-	budget := ctx.Budget
 	var out []moe.ExpertID
 	for _, c := range cands {
-		if budget < xfer {
-			break
+		if take(ctx, budgets, ctx.target(c.id), ctx.Cfg.ExpertBytes()) {
+			out = append(out, c.id)
 		}
-		out = append(out, c.id)
-		budget -= xfer
 	}
 	return out
 }

@@ -61,7 +61,7 @@ func TestNextLayerTopKBasic(t *testing.T) {
 func TestNextLayerTopKRespectsBudget(t *testing.T) {
 	cfg := moe.DeepSeek()
 	loads := map[int][]int{1: loadsWith(cfg, map[int]int{1: 4, 2: 3, 3: 2, 4: 1})}
-	xfer := hw.A6000Platform().Link.TransferTime(cfg.ExpertBytes())
+	xfer := hw.A6000Platform().Links[0].TransferTime(cfg.ExpertBytes())
 	ctx := testCtx(0, 2.5*xfer, loads, nil)
 	got := NewNextLayerTopK().Select(ctx)
 	if len(got) != 2 {
@@ -85,7 +85,7 @@ func TestImpactDrivenPrefersHighImpactExpert(t *testing.T) {
 	loads := map[int][]int{
 		1: loadsWith(cfg, map[int]int{0: 400, 1: 1}),
 	}
-	xfer := hw.A6000Platform().Link.TransferTime(cfg.ExpertBytes())
+	xfer := hw.A6000Platform().Links[0].TransferTime(cfg.ExpertBytes())
 	ctx := testCtx(0, 1.5*xfer, loads, nil)
 	got := NewImpactDriven().Select(ctx)
 	if len(got) != 1 {
@@ -119,7 +119,7 @@ func TestImpactDrivenLooksAcrossWindow(t *testing.T) {
 	cfg := moe.DeepSeek()
 	// Only layer 3 (lookahead 3) has predicted work.
 	loads := map[int][]int{3: loadsWith(cfg, map[int]int{9: 200})}
-	xfer := hw.A6000Platform().Link.TransferTime(cfg.ExpertBytes())
+	xfer := hw.A6000Platform().Links[0].TransferTime(cfg.ExpertBytes())
 	ctx := testCtx(0, 2*xfer, loads, nil)
 	got := NewImpactDriven().Select(ctx)
 	if len(got) != 1 || got[0].Layer != 3 {
@@ -141,7 +141,7 @@ func TestImpactDrivenDiscountsDistantLayers(t *testing.T) {
 		1: loadsWith(cfg, map[int]int{0: 100}),
 		3: loadsWith(cfg, map[int]int{0: 100}),
 	}
-	xfer := hw.A6000Platform().Link.TransferTime(cfg.ExpertBytes())
+	xfer := hw.A6000Platform().Links[0].TransferTime(cfg.ExpertBytes())
 	ctx := testCtx(0, 1.5*xfer, loads, nil)
 	got := NewImpactDriven().Select(ctx)
 	if len(got) != 1 || got[0].Layer != 1 {
@@ -154,7 +154,7 @@ func TestImpactDrivenBudgetRespected(t *testing.T) {
 	loads := map[int][]int{
 		1: loadsWith(cfg, map[int]int{0: 50, 1: 40, 2: 30, 3: 20, 4: 10}),
 	}
-	xfer := hw.A6000Platform().Link.TransferTime(cfg.ExpertBytes())
+	xfer := hw.A6000Platform().Links[0].TransferTime(cfg.ExpertBytes())
 	for _, budgetXfers := range []float64{0.5, 1, 2.2, 3.7, 100} {
 		ctx := testCtx(0, budgetXfers*xfer, loads, nil)
 		got := NewImpactDriven().Select(ctx)
@@ -173,5 +173,27 @@ func TestByName(t *testing.T) {
 	}
 	if _, ok := ByName("psychic"); ok {
 		t.Error("unknown prefetcher should not resolve")
+	}
+}
+
+// Multi-GPU: each pick spends its target device's link budget, priced
+// by that device's own link model, so one saturated link does not stop
+// prefetch onto the other.
+func TestSelectSpendsPerDeviceBudgets(t *testing.T) {
+	cfg := moe.DeepSeek()
+	loads := map[int][]int{1: loadsWith(cfg, map[int]int{0: 10, 1: 9, 2: 8, 3: 7})}
+	ctx := testCtx(0, 0, loads, nil)
+	ctx.Platform = hw.DualA6000Platform()
+	xfer := ctx.Platform.Links[0].TransferTime(cfg.ExpertBytes())
+	// Device 0's link has room for one transfer, device 1's for two.
+	ctx.Budgets = []float64{1.5 * xfer, 2.5 * xfer}
+	ctx.Target = func(id moe.ExpertID) hw.Device { return hw.GPUAt(id.Index % 2) }
+	got := NewNextLayerTopK().Select(ctx)
+	perDev := map[hw.Device]int{}
+	for _, id := range got {
+		perDev[ctx.Target(id)]++
+	}
+	if perDev[hw.GPUAt(0)] != 1 || perDev[hw.GPUAt(1)] != 2 {
+		t.Fatalf("picks per device = %v (selection %v), want 1 on GPU0 and 2 on GPU1", perDev, got)
 	}
 }

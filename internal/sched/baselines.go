@@ -39,7 +39,7 @@ func (s *KTransStatic) Plan(tasks []Task, p *hw.Platform, res Resources) *Plan {
 
 	gpuBusy := res.GPUFree
 	for _, t := range gpuTasks {
-		end := gpuBusy + p.GPU.ExpertTime(t.Flops, t.Bytes)
+		end := gpuBusy + p.GPUs[0].ExpertTime(t.Flops, t.Bytes)
 		plan.Ops = append(plan.Ops, Op{Expert: t.ID, Kind: OpComputeGPU, Load: t.Load, Start: gpuBusy, End: end})
 		gpuBusy = end
 	}
@@ -98,7 +98,7 @@ func (s *GPUCentric) Plan(tasks []Task, p *hw.Platform, res Resources) *Plan {
 	}
 	var pend []ready
 	for _, t := range missed {
-		end := linkBusy + p.Link.TransferTime(t.Bytes)
+		end := linkBusy + p.Links[0].TransferTime(t.Bytes)
 		plan.Ops = append(plan.Ops, Op{Expert: t.ID, Kind: OpTransfer, Load: t.Load, Start: linkBusy, End: end})
 		plan.Transferred = append(plan.Transferred, t.ID)
 		linkBusy = end
@@ -113,7 +113,7 @@ func (s *GPUCentric) Plan(tasks []Task, p *hw.Platform, res Resources) *Plan {
 	gpuBusy := res.GPUFree
 	for _, r := range pend {
 		start := maxFloat(gpuBusy, r.at)
-		end := start + p.GPU.ExpertTime(r.task.Flops, r.task.Bytes)
+		end := start + p.GPUs[0].ExpertTime(r.task.Flops, r.task.Bytes)
 		plan.Ops = append(plan.Ops, Op{Expert: r.task.ID, Kind: OpComputeGPU, Load: r.task.Load, Start: start, End: end})
 		gpuBusy = end
 	}
@@ -158,7 +158,7 @@ func (s *StaticSplit) Plan(tasks []Task, p *hw.Platform, res Resources) *Plan {
 	if onGPU {
 		gpuBusy := res.GPUFree
 		for _, t := range ordered {
-			end := gpuBusy + p.GPU.ExpertTime(t.Flops, t.Bytes)
+			end := gpuBusy + p.GPUs[0].ExpertTime(t.Flops, t.Bytes)
 			plan.Ops = append(plan.Ops, Op{Expert: t.ID, Kind: OpComputeGPU, Load: t.Load, Start: gpuBusy, End: end})
 			gpuBusy = end
 		}

@@ -85,7 +85,7 @@ func buildAssignment(tasks []Task, p *hw.Platform, res Resources, onCPU func(int
 		queue = append(queue, ready{task: t})
 	}
 	for _, t := range gpuMissed {
-		end := linkBusy + p.Link.TransferTime(t.Bytes)
+		end := linkBusy + p.Links[0].TransferTime(t.Bytes)
 		plan.Ops = append(plan.Ops, Op{Expert: t.ID, Kind: OpTransfer, Load: t.Load, Start: linkBusy, End: end})
 		plan.Transferred = append(plan.Transferred, t.ID)
 		linkBusy = end
@@ -106,7 +106,7 @@ func buildAssignment(tasks []Task, p *hw.Platform, res Resources, onCPU func(int
 		}
 		r := queue[bestIdx]
 		queue = append(queue[:bestIdx], queue[bestIdx+1:]...)
-		end := bestStart + p.GPU.ExpertTime(r.task.Flops, r.task.Bytes)
+		end := bestStart + p.GPUs[0].ExpertTime(r.task.Flops, r.task.Bytes)
 		plan.Ops = append(plan.Ops, Op{Expert: r.task.ID, Kind: OpComputeGPU, Load: r.task.Load, Start: bestStart, End: end})
 		gpuBusy = end
 	}

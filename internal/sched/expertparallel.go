@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"sort"
+
+	"hybrimoe/internal/hw"
+)
+
+// ExpertParallel generalises the paper's greedy hybrid scheduler to
+// N-GPU platforms: experts are placed across the GPUs by load ×
+// residency. Cached experts run on the device holding their weights
+// (moving them would pay a transfer the cache already spent); uncached
+// experts start on the CPU queue and the per-device host links
+// compete to pull the heaviest ones onto whichever GPU — priced by
+// that device's own link model — would finish them earliest. The
+// planning loop is the same earliest-completion greedy simulation as
+// HybriMoE, with one compute timeline per GPU and one transfer
+// timeline per link; on a single-GPU platform it degenerates to the
+// HybriMoE greedy pass.
+type ExpertParallel struct{}
+
+// NewExpertParallel returns the multi-GPU placement scheduler.
+func NewExpertParallel() *ExpertParallel { return &ExpertParallel{} }
+
+// Name implements Scheduler.
+func (s *ExpertParallel) Name() string { return "expert-parallel" }
+
+// PlansDevices marks the scheduler device-aware (sched.DeviceAware).
+func (s *ExpertParallel) PlansDevices() {}
+
+// Plan implements Scheduler.
+func (s *ExpertParallel) Plan(tasks []Task, p *hw.Platform, res Resources) *Plan {
+	res.validate()
+	plan := &Plan{}
+	if len(tasks) == 0 {
+		return plan
+	}
+	n := p.NumGPUs()
+	if n < 1 {
+		n = 1
+	}
+
+	// CPU queue: uncached, ascending load. Per-GPU queues: cached on
+	// that device, descending load.
+	var cpuQ []Task
+	gpuQ := make([][]gpuEntry, n)
+	for _, t := range tasks {
+		if t.Cached {
+			d := t.Device.GPUIndex()
+			if d >= n {
+				// Residency on a device the platform does not carry is a
+				// wiring bug upstream; fold onto GPU0 rather than panic so
+				// a stale cache entry cannot take the serving loop down.
+				d = 0
+			}
+			gpuQ[d] = append(gpuQ[d], gpuEntry{task: t})
+		} else {
+			cpuQ = append(cpuQ, t)
+		}
+	}
+	sort.SliceStable(cpuQ, func(i, j int) bool { return cpuQ[i].Load < cpuQ[j].Load })
+	for d := range gpuQ {
+		q := gpuQ[d]
+		sort.SliceStable(q, func(i, j int) bool { return q[i].task.Load > q[j].task.Load })
+	}
+
+	cpuBusy := res.CPUFree
+	gpuBusy := make([]float64, n)
+	linkBusy := make([]float64, n)
+	for d := 0; d < n; d++ {
+		gpuBusy[d] = res.GPUFreeAt(hw.GPUAt(d))
+		linkBusy[d] = res.LinkFreeAt(hw.GPUAt(d))
+	}
+	cpuFirst := true
+
+	appendOp := func(op Op) {
+		plan.Ops = append(plan.Ops, op)
+		if op.Kind != OpTransfer && op.End > plan.Makespan {
+			plan.Makespan = op.End
+		}
+	}
+	remaining := func() bool {
+		if len(cpuQ) > 0 {
+			return true
+		}
+		for _, q := range gpuQ {
+			if len(q) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	const none = -1
+	const eps = 1e-15
+	for remaining() {
+		// Candidate A: CPU computes its queue head, or steals the
+		// globally lowest-load cached (non-in-flight) expert.
+		cpuHead := len(cpuQ) > 0
+		stealDev, stealIdx := none, none
+		var cpuFin float64
+		if cpuHead {
+			t := cpuQ[0]
+			cpuFin = cpuBusy + p.CPU.ExpertTime(t.Flops, t.Bytes, cpuFirst)
+		} else {
+			for d, q := range gpuQ {
+				// Queues are load-descending: scan from the back for the
+				// device's lowest-load stealable entry.
+				for i := len(q) - 1; i >= 0; i-- {
+					if q[i].viaTransfer {
+						continue
+					}
+					if stealDev == none || q[i].task.Load < gpuQ[stealDev][stealIdx].task.Load {
+						stealDev, stealIdx = d, i
+					}
+					break
+				}
+			}
+			if stealDev != none {
+				t := gpuQ[stealDev][stealIdx].task
+				cpuFin = cpuBusy + p.CPU.ExpertTime(t.Flops, t.Bytes, cpuFirst)
+			}
+		}
+
+		// Candidates B_d: each GPU computes its earliest-startable queue
+		// entry (the queue is load-ordered, so the first minimal-start
+		// entry wins ties on load).
+		gpuIdx := make([]int, n)
+		gpuStart := make([]float64, n)
+		gpuFin := make([]float64, n)
+		for d, q := range gpuQ {
+			gpuIdx[d] = none
+			for i, e := range q {
+				start := gpuBusy[d]
+				if e.readyAt > start {
+					start = e.readyAt
+				}
+				if gpuIdx[d] == none || start < gpuStart[d]-eps {
+					gpuIdx[d] = i
+					gpuStart[d] = start
+					gpuFin[d] = start + p.GPUs[d].ExpertTime(e.task.Flops, e.task.Bytes)
+				}
+			}
+		}
+
+		// Candidate C: transfer the highest-load uncached expert (the
+		// CPU queue tail) to the device that would have it compute-ready
+		// earliest, priced by that device's own link.
+		xferDev := none
+		var xferFin float64
+		if len(cpuQ) > 0 {
+			t := cpuQ[len(cpuQ)-1]
+			var bestReady float64
+			for d := 0; d < n; d++ {
+				fin := linkBusy[d] + p.Links[d].TransferTime(t.Bytes)
+				ready := fin
+				if gpuBusy[d] > ready {
+					ready = gpuBusy[d]
+				}
+				if xferDev == none || ready < bestReady-eps {
+					xferDev = d
+					bestReady = ready
+					xferFin = fin
+				}
+			}
+		}
+
+		// Commit the earliest-finishing candidate; ties prefer CPU, then
+		// GPUs in device order, then the transfer (matching the paper's
+		// walk-through, which keeps the CPU busy on cheap uncached work).
+		best := none // 0 = CPU, 1..n = GPU d-1, n+1 = transfer
+		var bestFin float64
+		consider := func(kind int, fin float64, ok bool) {
+			if !ok {
+				return
+			}
+			if best == none || fin < bestFin-eps {
+				best = kind
+				bestFin = fin
+			}
+		}
+		consider(0, cpuFin, cpuHead || stealDev != none)
+		for d := 0; d < n; d++ {
+			consider(1+d, gpuFin[d], gpuIdx[d] != none)
+		}
+		consider(1+n, xferFin, xferDev != none)
+
+		switch {
+		case best == 0:
+			var t Task
+			if cpuHead {
+				t = cpuQ[0]
+				cpuQ = cpuQ[1:]
+			} else {
+				t = gpuQ[stealDev][stealIdx].task
+				gpuQ[stealDev] = append(gpuQ[stealDev][:stealIdx], gpuQ[stealDev][stealIdx+1:]...)
+			}
+			appendOp(Op{Expert: t.ID, Kind: OpComputeCPU, Load: t.Load, Start: cpuBusy, End: cpuFin})
+			cpuBusy = cpuFin
+			cpuFirst = false
+		case best >= 1 && best <= n:
+			d := best - 1
+			e := gpuQ[d][gpuIdx[d]]
+			gpuQ[d] = append(gpuQ[d][:gpuIdx[d]], gpuQ[d][gpuIdx[d]+1:]...)
+			appendOp(Op{Expert: e.task.ID, Kind: OpComputeGPU, Load: e.task.Load,
+				Start: gpuStart[d], End: gpuFin[d], Device: hw.GPUAt(d)})
+			gpuBusy[d] = gpuFin[d]
+		case best == 1+n:
+			t := cpuQ[len(cpuQ)-1]
+			cpuQ = cpuQ[:len(cpuQ)-1]
+			appendOp(Op{Expert: t.ID, Kind: OpTransfer, Load: t.Load,
+				Start: linkBusy[xferDev], End: xferFin, Device: hw.GPUAt(xferDev)})
+			linkBusy[xferDev] = xferFin
+			plan.Transferred = append(plan.Transferred, t.ID)
+			// Insert into the target GPU's queue keeping descending load
+			// order.
+			entry := gpuEntry{task: t, readyAt: xferFin, viaTransfer: true}
+			q := gpuQ[xferDev]
+			pos := sort.Search(len(q), func(i int) bool { return q[i].task.Load < t.Load })
+			q = append(q, gpuEntry{})
+			copy(q[pos+1:], q[pos:])
+			q[pos] = entry
+			gpuQ[xferDev] = q
+		default:
+			panic("sched: no candidate operation (scheduler bug)")
+		}
+	}
+	return plan
+}
+
+var _ DeviceAware = (*ExpertParallel)(nil)

@@ -126,7 +126,7 @@ func (s *HybriMoE) planGreedy(tasks []Task, p *hw.Platform, res Resources) *Plan
 			if gpuIdx == none || start < gpuStart-1e-15 {
 				gpuIdx = i
 				gpuStart = start
-				gpuFin = start + p.GPU.ExpertTime(e.task.Flops, e.task.Bytes)
+				gpuFin = start + p.GPUs[0].ExpertTime(e.task.Flops, e.task.Bytes)
 			}
 		}
 
@@ -136,7 +136,7 @@ func (s *HybriMoE) planGreedy(tasks []Task, p *hw.Platform, res Resources) *Plan
 		var xferFin float64
 		if len(cpuQ) > 0 {
 			xferIdx = len(cpuQ) - 1
-			xferFin = linkBusy + p.Link.TransferTime(cpuQ[xferIdx].Bytes)
+			xferFin = linkBusy + p.Links[0].TransferTime(cpuQ[xferIdx].Bytes)
 		}
 
 		// Commit the earliest-finishing candidate; ties prefer CPU,

@@ -61,4 +61,5 @@ func init() {
 	Register("gpu-centric", func(Config) Scheduler { return NewGPUCentric() })
 	Register("static-split", func(c Config) Scheduler { return NewStaticSplit(c.GPULayer) })
 	Register("exhaustive", func(Config) Scheduler { return NewExhaustive() })
+	Register("expert-parallel", func(Config) Scheduler { return NewExpertParallel() })
 }

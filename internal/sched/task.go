@@ -31,6 +31,9 @@ type Task struct {
 	Bytes int64
 	// Cached reports GPU residency at scheduling time.
 	Cached bool
+	// Device is the GPU holding the cached copy. The zero value is GPU0,
+	// so single-GPU call sites never set it. Meaningful only when Cached.
+	Device hw.Device
 }
 
 // OpKind classifies plan operations.
@@ -64,6 +67,11 @@ type Op struct {
 	Load   int
 	Start  float64
 	End    float64
+	// Device is the target GPU of an OpComputeGPU, or the destination
+	// GPU (and therefore the host link) of an OpTransfer. The zero value
+	// is GPU0, so single-GPU schedulers never set it; it is ignored for
+	// OpComputeCPU.
+	Device hw.Device
 }
 
 // Plan is a complete schedule for one layer's routed experts.
@@ -77,19 +85,70 @@ type Plan struct {
 	Transferred []moe.ExpertID
 }
 
-// Resources carries the occupancy of the three timelines at the moment
+// Resources carries the occupancy of the device timelines at the moment
 // the layer starts, as offsets ≥ 0 relative to the layer start. GPUFree
 // is typically positive (attention + shared experts run first); LinkFree
 // is positive when a prefetch from an earlier layer still occupies PCIe.
+// On multi-GPU platforms GPUFrees/LinkFrees carry every device's
+// frontier; the scalar GPUFree/LinkFree remain GPU0's, so single-GPU
+// schedulers (and their callers) are untouched by the N-device model.
 type Resources struct {
 	CPUFree  float64
 	GPUFree  float64
 	LinkFree float64
+	// GPUFrees and LinkFrees, when non-nil, carry the per-device
+	// frontiers; index 0 takes precedence over the scalars. Nil means a
+	// single device described by the scalars.
+	GPUFrees  []float64
+	LinkFrees []float64
+}
+
+// GPUFreeAt reports device d's occupancy offset: the per-device vector
+// when present, the scalar for GPU0 otherwise, and 0 for devices the
+// caller never mentioned.
+func (r Resources) GPUFreeAt(d hw.Device) float64 {
+	i := d.GPUIndex()
+	if r.GPUFrees != nil {
+		if i < len(r.GPUFrees) {
+			return r.GPUFrees[i]
+		}
+		return 0
+	}
+	if i == 0 {
+		return r.GPUFree
+	}
+	return 0
+}
+
+// LinkFreeAt reports the occupancy offset of device d's host link, with
+// GPUFreeAt's fallback rules.
+func (r Resources) LinkFreeAt(d hw.Device) float64 {
+	i := d.GPUIndex()
+	if r.LinkFrees != nil {
+		if i < len(r.LinkFrees) {
+			return r.LinkFrees[i]
+		}
+		return 0
+	}
+	if i == 0 {
+		return r.LinkFree
+	}
+	return 0
 }
 
 func (r Resources) validate() {
 	if r.CPUFree < 0 || r.GPUFree < 0 || r.LinkFree < 0 {
 		panic(fmt.Sprintf("sched: negative resource offsets %+v", r))
+	}
+	for _, v := range r.GPUFrees {
+		if v < 0 {
+			panic(fmt.Sprintf("sched: negative GPU resource offsets %+v", r))
+		}
+	}
+	for _, v := range r.LinkFrees {
+		if v < 0 {
+			panic(fmt.Sprintf("sched: negative link resource offsets %+v", r))
+		}
 	}
 }
 
@@ -101,14 +160,40 @@ type Scheduler interface {
 	Plan(tasks []Task, p *hw.Platform, res Resources) *Plan
 }
 
+// DeviceAware marks schedulers that understand multi-GPU device
+// identity: they read Task.Device and the per-device Resources vectors
+// and emit ops targeting any GPU. Schedulers without the marker are
+// single-GPU planners — on an N-GPU platform the engine confines their
+// residency, placement and transfers to GPU0, since a plan that runs a
+// GPU1-resident expert on GPU0 without a transfer is not physical.
+type DeviceAware interface {
+	Scheduler
+	// PlansDevices is a marker; implementations need no behaviour.
+	PlansDevices()
+}
+
+// IsDeviceAware reports whether s opts into multi-GPU planning.
+func IsDeviceAware(s Scheduler) bool {
+	_, ok := s.(DeviceAware)
+	return ok
+}
+
 // Validate checks plan invariants against the task list: every task
-// computed exactly once, transfers precede their GPU compute, and ops on
-// the same resource never overlap. Tests and the engine's debug mode use
-// it; it returns nil for a well-formed plan.
+// computed exactly once, transfers precede their GPU compute on the
+// same device, cached tasks only GPU-compute on their residency device,
+// and ops on the same resource (the CPU, each GPU, each host link)
+// never overlap. Tests and the engine's debug mode use it; it returns
+// nil for a well-formed plan.
 func (pl *Plan) Validate(tasks []Task, res Resources) error {
+	type xfer struct {
+		end float64
+		dev hw.Device
+	}
 	computed := make(map[moe.ExpertID]int)
-	transferred := make(map[moe.ExpertID]float64)
-	var cpuOps, gpuOps, xferOps []Op
+	transferred := make(map[moe.ExpertID]xfer)
+	var cpuOps []Op
+	gpuOps := make(map[hw.Device][]Op)
+	xferOps := make(map[hw.Device][]Op)
 	for _, op := range pl.Ops {
 		switch op.Kind {
 		case OpComputeCPU:
@@ -116,13 +201,13 @@ func (pl *Plan) Validate(tasks []Task, res Resources) error {
 			cpuOps = append(cpuOps, op)
 		case OpComputeGPU:
 			computed[op.Expert]++
-			gpuOps = append(gpuOps, op)
+			gpuOps[op.Device] = append(gpuOps[op.Device], op)
 		case OpTransfer:
 			if _, dup := transferred[op.Expert]; dup {
 				return fmt.Errorf("sched: %v transferred twice", op.Expert)
 			}
-			transferred[op.Expert] = op.End
-			xferOps = append(xferOps, op)
+			transferred[op.Expert] = xfer{end: op.End, dev: op.Device}
+			xferOps[op.Device] = append(xferOps[op.Device], op)
 		}
 		if op.End < op.Start {
 			return fmt.Errorf("sched: op %v ends before it starts", op)
@@ -140,24 +225,36 @@ func (pl *Plan) Validate(tasks []Task, res Resources) error {
 	for _, t := range tasks {
 		byID[t.ID] = t
 	}
-	for _, op := range gpuOps {
-		task, ok := byID[op.Expert]
-		if !ok {
-			return fmt.Errorf("sched: GPU op for unknown task %v", op.Expert)
-		}
-		if !task.Cached {
-			end, ok := transferred[op.Expert]
+	for dev, ops := range gpuOps {
+		for _, op := range ops {
+			task, ok := byID[op.Expert]
+			if !ok {
+				return fmt.Errorf("sched: GPU op for unknown task %v", op.Expert)
+			}
+			if task.Cached {
+				if dev != task.Device {
+					return fmt.Errorf("sched: %v cached on %v computed on %v without transfer",
+						op.Expert, task.Device, dev)
+				}
+				continue
+			}
+			x, ok := transferred[op.Expert]
 			if !ok {
 				return fmt.Errorf("sched: uncached %v computed on GPU without transfer", op.Expert)
 			}
-			if op.Start < end-1e-9 {
-				return fmt.Errorf("sched: %v GPU compute at %v before transfer end %v", op.Expert, op.Start, end)
+			if x.dev != dev {
+				return fmt.Errorf("sched: %v transferred to %v but computed on %v", op.Expert, x.dev, dev)
+			}
+			if op.Start < x.end-1e-9 {
+				return fmt.Errorf("sched: %v GPU compute at %v before transfer end %v", op.Expert, op.Start, x.end)
 			}
 		}
 	}
-	for _, op := range xferOps {
-		if t := byID[op.Expert]; t.Cached {
-			return fmt.Errorf("sched: cached %v transferred", op.Expert)
+	for _, ops := range xferOps {
+		for _, op := range ops {
+			if t := byID[op.Expert]; t.Cached {
+				return fmt.Errorf("sched: cached %v transferred", op.Expert)
+			}
 		}
 	}
 	checkSerial := func(ops []Op, free float64, what string) error {
@@ -174,11 +271,15 @@ func (pl *Plan) Validate(tasks []Task, res Resources) error {
 	if err := checkSerial(cpuOps, res.CPUFree, "CPU"); err != nil {
 		return err
 	}
-	if err := checkSerial(gpuOps, res.GPUFree, "GPU"); err != nil {
-		return err
+	for dev, ops := range gpuOps {
+		if err := checkSerial(ops, res.GPUFreeAt(dev), dev.String()); err != nil {
+			return err
+		}
 	}
-	if err := checkSerial(xferOps, res.LinkFree, "PCIe"); err != nil {
-		return err
+	for dev, ops := range xferOps {
+		if err := checkSerial(ops, res.LinkFreeAt(dev), "PCIe:"+dev.String()); err != nil {
+			return err
+		}
 	}
 	var maxEnd float64
 	for _, op := range pl.Ops {
@@ -192,22 +293,42 @@ func (pl *Plan) Validate(tasks []Task, res Resources) error {
 	return nil
 }
 
+// Residency reports where an expert's weights are cached, if anywhere.
+// Multi-GPU engines hand schedulers one of these so placement can
+// follow residency to the owning device.
+type Residency func(moe.ExpertID) (hw.Device, bool)
+
 // TasksFromLoads builds the task list for one layer from per-expert
 // token loads, using cfg for sizing and isCached for residency. Experts
-// with zero load are skipped.
+// with zero load are skipped. Cached experts are attributed to GPU0 —
+// the single-GPU convention; use TasksFromLoadsOn when residency is
+// spread across devices.
 func TasksFromLoads(cfg *moe.Config, layer int, loads []int, isCached func(moe.ExpertID) bool) []Task {
+	return TasksFromLoadsOn(cfg, layer, loads, func(id moe.ExpertID) (hw.Device, bool) {
+		return hw.GPU, isCached(id)
+	})
+}
+
+// TasksFromLoadsOn builds the task list with per-device residency:
+// cached tasks carry the device holding their copy.
+func TasksFromLoadsOn(cfg *moe.Config, layer int, loads []int, residentOn Residency) []Task {
 	var tasks []Task
 	for e, load := range loads {
 		if load == 0 {
 			continue
 		}
 		id := moe.ExpertID{Layer: layer, Index: e}
+		dev, cached := residentOn(id)
+		if !cached {
+			dev = hw.GPU
+		}
 		tasks = append(tasks, Task{
 			ID:     id,
 			Load:   load,
 			Flops:  cfg.ExpertFlops(load),
 			Bytes:  cfg.ExpertBytes(),
-			Cached: isCached(id),
+			Cached: cached,
+			Device: dev,
 		})
 	}
 	return tasks

@@ -160,6 +160,8 @@ func TestNewArrivalsBurstyMatchesRate(t *testing.T) {
 func TestTraceRoundTrip(t *testing.T) {
 	reqs := NewStream(31, AllDatasets()...).WithArrivals(Poisson(6)).NextN(12)
 	reqs[0].Priority = 2
+	reqs[0].Class = "interactive"
+	reqs[1].Class = "batch"
 	AssignDeadlines(reqs, 0.5, 0.01)
 
 	var buf bytes.Buffer

@@ -21,6 +21,7 @@ type traceRecord struct {
 	PromptTokens int     `json:"prompt_tokens,omitempty"`
 	DecodeTokens int     `json:"decode_tokens,omitempty"`
 	Priority     int     `json:"priority,omitempty"`
+	Class        string  `json:"class,omitempty"`
 	Deadline     float64 `json:"deadline,omitempty"`
 	Arrival      float64 `json:"arrival,omitempty"`
 }
@@ -39,6 +40,7 @@ func WriteTrace(w io.Writer, reqs []Request) error {
 			PromptTokens: r.PromptTokens,
 			DecodeTokens: r.DecodeTokens,
 			Priority:     r.Priority,
+			Class:        r.Class,
 			Deadline:     r.Deadline,
 			Arrival:      r.Arrival,
 		}
@@ -87,6 +89,7 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 			PromptTokens: rec.PromptTokens,
 			DecodeTokens: rec.DecodeTokens,
 			Priority:     rec.Priority,
+			Class:        rec.Class,
 			Deadline:     rec.Deadline,
 			Arrival:      rec.Arrival,
 		})

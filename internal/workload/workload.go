@@ -129,6 +129,10 @@ type Request struct {
 	// admission controllers choose what to shed; higher is more urgent.
 	// 0 is the default.
 	Priority int
+	// Class is a free-form SLO class label ("interactive", "batch", …)
+	// echoed on every StepEvent the request emits, so studies can slice
+	// violation and shed rates per class. "" means unclassified.
+	Class string
 	// Deadline is the absolute simulation-clock completion target in
 	// seconds. 0 means no deadline: deadline-aware schedulers serve the
 	// request after every deadlined one, and violation accounting skips
