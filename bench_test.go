@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"hybrimoe/internal/cache"
+	"hybrimoe/internal/cluster"
 	"hybrimoe/internal/engine"
 	"hybrimoe/internal/exp"
 	"hybrimoe/internal/hw"
@@ -34,6 +35,10 @@ const (
 	benchTraceSeed uint64 = 1
 	// benchWorkloadSeed seeds the serving benchmarks' request streams.
 	benchWorkloadSeed uint64 = 9
+	// benchFleetSeed seeds the multi-replica fleet benchmark: the base
+	// seed derives every replica's engine stream, so the whole fleet is
+	// pinned by this one constant.
+	benchFleetSeed uint64 = 17
 )
 
 func benchParams() exp.Params {
@@ -437,5 +442,45 @@ func BenchmarkSessionServeBatchedDecode(b *testing.B) {
 	}
 	if clockEnd > 0 {
 		b.ReportMetric(float64(tokens)/clockEnd, "sim-tok/s")
+	}
+}
+
+// BenchmarkFleetAffinityRouting times dispatching a Poisson burst
+// across a 4-replica fleet under cache-affinity routing: router scoring
+// per arrival (predicted-residency views over every replica) plus the
+// cluster's lockstep min-clock advance — the multi-replica serving path
+// the bench-trend gate watches. The custom metric reports aggregate
+// simulated goodput, so a routing or lockstep regression moves a gated
+// unit even at -benchtime=1x.
+func BenchmarkFleetAffinityRouting(b *testing.B) {
+	reqs := workload.NewStream(benchFleetSeed, workload.AllDatasets()...).
+		WithArrivals(workload.Poisson(24)).
+		NextN(12)
+	workload.CapDecode(reqs, 6)
+	var completed int
+	var clockEnd float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fleet construction (four engine stacks with cache warm-up) is
+		// setup, not the dispatch loop under test.
+		b.StopTimer()
+		c, err := exp.NewFleet(4, "affinity", benchFleetSeed, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Submit(reqs...)
+		b.StartTimer()
+		completed, clockEnd = 0, 0
+		c.Run(func(ev cluster.Event) {
+			if ev.End > clockEnd {
+				clockEnd = ev.End
+			}
+			if ev.Done {
+				completed++
+			}
+		})
+	}
+	if clockEnd > 0 {
+		b.ReportMetric(float64(completed)/clockEnd, "sim-req/s")
 	}
 }

@@ -28,6 +28,8 @@
 //	-rate R             mean arrival rate in req/s (with -arrivals)
 //	-trace-in FILE      replay a JSONL request trace instead of sampling a stream
 //	-trace-out FILE     record the offered request sequence as a JSONL trace
+//	-replicas N         independent replica stacks served as a fleet (>1 enables routing)
+//	-router NAME        fleet request router: round-robin, least-loaded, power-of-two, affinity
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"os"
 	"strings"
 
+	"hybrimoe/internal/cluster"
 	"hybrimoe/internal/core"
 	"hybrimoe/internal/engine"
 	"hybrimoe/internal/exp"
@@ -143,6 +146,8 @@ func run(args []string) error {
 		rate := fs.Float64("rate", 4, "mean arrival rate in req/s (with -arrivals)")
 		traceIn := fs.String("trace-in", "", "replay a JSONL request trace instead of sampling a stream")
 		traceOut := fs.String("trace-out", "", "record the offered request sequence (deadlines stamped, before admission) as a JSONL trace")
+		replicas := fs.Int("replicas", 1, "independent replica stacks served as a fleet (>1 routes through -router)")
+		router := fs.String("router", "affinity", "fleet request router: "+strings.Join(cluster.RouterNames(), ", "))
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -156,6 +161,7 @@ func run(args []string) error {
 			reqSched: *reqSched, batch: *batch, batchBudget: *batchBudget,
 			sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
 			arrivals: *arrivals, rate: *rate, traceIn: *traceIn, traceOut: *traceOut,
+			replicas: *replicas, router: *router,
 		}
 		return serve(sc)
 
@@ -182,6 +188,8 @@ type serveConfig struct {
 	arrivals             string
 	rate                 float64
 	traceIn, traceOut    string
+	replicas             int
+	router               string
 }
 
 // serveRequests assembles the request sequence for one serve run:
@@ -239,23 +247,8 @@ func serve(sc serveConfig) error {
 	if sc.gpus < 1 {
 		return fmt.Errorf("-gpus %d must be at least 1", sc.gpus)
 	}
-	opts := []engine.Option{
-		engine.WithCacheRatio(sc.ratio),
-		engine.WithSeed(sc.seed),
-		engine.WithRequestScheduler(sc.reqSched),
-		engine.WithBatchPolicy(sc.batch, sc.batchBudget),
-	}
-	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
-	if admitting {
-		opts = append(opts, engine.WithAdmission(engine.NewSLOAdmission(sc.sloTTFT, sc.sloTBT)))
-	}
-	fw := engine.HybriMoEFramework()
-	if sc.sched != "" {
-		fw.Sched = sc.sched
-	}
-	e, err := engine.New(sc.cfg, hw.MultiA6000Platform(sc.gpus), fw, opts...)
-	if err != nil {
-		return err
+	if sc.replicas < 1 {
+		return fmt.Errorf("-replicas %d must be at least 1", sc.replicas)
 	}
 	reqs, err := serveRequests(sc)
 	if err != nil {
@@ -276,6 +269,27 @@ func serve(sc serveConfig) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+	}
+	if sc.replicas > 1 {
+		return serveFleet(sc, reqs)
+	}
+	opts := []engine.Option{
+		engine.WithCacheRatio(sc.ratio),
+		engine.WithSeed(sc.seed),
+		engine.WithRequestScheduler(sc.reqSched),
+		engine.WithBatchPolicy(sc.batch, sc.batchBudget),
+	}
+	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
+	if admitting {
+		opts = append(opts, engine.WithAdmission(engine.NewSLOAdmission(sc.sloTTFT, sc.sloTBT)))
+	}
+	fw := engine.HybriMoEFramework()
+	if sc.sched != "" {
+		fw.Sched = sc.sched
+	}
+	e, err := engine.New(sc.cfg, hw.MultiA6000Platform(sc.gpus), fw, opts...)
+	if err != nil {
+		return err
 	}
 	s := e.NewSession(engine.WithMaxConcurrent(sc.concurrent))
 	s.Submit(reqs...)
@@ -350,6 +364,107 @@ func serve(sc serveConfig) error {
 	if admitting || sc.deadline > 0 {
 		fmt.Printf("admission: %d shed, %d deferral verdicts   deadline violations: %d\n",
 			s.Shed(), s.Deferred(), violations)
+	}
+	fmt.Printf("TTFT  %s\n", report.Latencies(ttfts))
+	fmt.Printf("TBT   %s\n", report.Latencies(tbts))
+	return nil
+}
+
+// serveFleet streams the prepared request sequence through a
+// multi-replica cluster: each replica is a full engine stack built from
+// the same serve knobs (model, GPUs, schedulers, batching) with its own
+// derived seed, the named router picks a replica per arrival, and SLO
+// targets move admission to the fleet door — requests are shed against
+// fleet-aggregate quantiles before any replica queues them.
+func serveFleet(sc serveConfig, reqs []workload.Request) error {
+	router, err := cluster.NewRouter(sc.router, sc.replicas, sc.seed)
+	if err != nil {
+		return err
+	}
+	fw := engine.HybriMoEFramework()
+	if sc.sched != "" {
+		fw.Sched = sc.sched
+	}
+	build := func(i int) (*engine.Engine, error) {
+		return engine.New(sc.cfg, hw.MultiA6000Platform(sc.gpus), fw,
+			engine.WithCacheRatio(sc.ratio),
+			engine.WithSeed(cluster.ReplicaSeed(sc.seed, i)),
+			engine.WithRequestScheduler(sc.reqSched),
+			engine.WithBatchPolicy(sc.batch, sc.batchBudget))
+	}
+	opts := []cluster.Option{cluster.WithMaxConcurrent(sc.concurrent)}
+	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
+	if admitting {
+		opts = append(opts, cluster.WithAdmission(engine.NewSLOAdmission(sc.sloTTFT, sc.sloTBT)))
+	}
+	c, err := cluster.New(sc.replicas, router, build, opts...)
+	if err != nil {
+		return err
+	}
+	c.Submit(reqs...)
+
+	fmt.Printf("serving %d requests across %d %s replicas (%s routing, %.0f%% cache, ≤%d concurrent each",
+		len(reqs), sc.replicas, sc.cfg.Name, c.RouterName(), sc.ratio*100, sc.concurrent)
+	if sc.gpus > 1 {
+		fmt.Printf(", %d GPUs via %s", sc.gpus, sc.sched)
+	}
+	if sc.traceIn != "" {
+		fmt.Printf(", replaying %s", sc.traceIn)
+	} else if sc.arrivals != "none" {
+		fmt.Printf(", %s arrivals at %.3g req/s", sc.arrivals, sc.rate)
+	}
+	if sc.batch != "none" {
+		fmt.Printf(", %s batching ≤%d tokens", sc.batch, sc.batchBudget)
+	}
+	if admitting {
+		fmt.Printf(", fleet SLO p95 TTFT %.3gs / TBT %.3gs", sc.sloTTFT, sc.sloTBT)
+	}
+	fmt.Print(")\n\n")
+
+	var ttfts, tbts []float64
+	violations := 0
+	c.Run(func(ev cluster.Event) {
+		switch ev.Phase {
+		case engine.PhasePrefill:
+			ttfts = append(ttfts, ev.Queued+ev.Latency)
+			queued := ""
+			if ev.Queued > 0 {
+				queued = fmt.Sprintf(" (queued %.4fs)", ev.Queued)
+			}
+			fmt.Printf("  t=%7.3fs r%d req %2d prefill %4d tokens  TTFT %.4fs%s\n",
+				ev.End, ev.Replica, ev.Request, ev.Tokens, ev.Queued+ev.Latency, queued)
+		case engine.PhaseDecode:
+			tbts = append(tbts, ev.Latency)
+		case engine.PhaseShed:
+			fmt.Printf("  t=%7.3fs    req %2d SHED at the fleet door\n", ev.End, ev.Request)
+			return
+		case engine.PhaseDeferred:
+			fmt.Printf("  t=%7.3fs    req %2d deferred at the fleet door\n", ev.End, ev.Request)
+			return
+		}
+		if ev.Done {
+			late := ""
+			if ev.Deadline > 0 && ev.End > ev.Deadline {
+				violations++
+				late = fmt.Sprintf("  MISSED deadline %.3fs", ev.Deadline)
+			}
+			steps := ev.Index + 1
+			if ev.Phase == engine.PhasePrefill {
+				steps = 0
+			}
+			fmt.Printf("  t=%7.3fs r%d req %2d done after %d decode steps%s\n",
+				ev.End, ev.Replica, ev.Request, steps, late)
+		}
+	})
+
+	fmt.Printf("\nsteps: %d   routed per replica: %v\n", c.Steps(), c.Routed())
+	for i := 0; i < sc.replicas; i++ {
+		fmt.Printf("  replica %d: clock %.3fs, cache hit rate %.1f%%\n",
+			i, c.Engine(i).Clock(), 100*c.Engine(i).Caches().HitRate())
+	}
+	if admitting || sc.deadline > 0 {
+		fmt.Printf("admission: %d shed, %d deferral verdicts   deadline violations: %d\n",
+			c.Shed(), c.Deferred(), violations)
 	}
 	fmt.Printf("TTFT  %s\n", report.Latencies(ttfts))
 	fmt.Printf("TBT   %s\n", report.Latencies(tbts))

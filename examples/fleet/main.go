@@ -1,0 +1,103 @@
+// Fleet example: multi-replica serving through internal/cluster. A
+// burst of mixed-corpus requests with Poisson arrivals is dispatched
+// across independent replica stacks — each its own engine, expert cache
+// and session, advanced in lockstep on per-replica clocks — under each
+// registered router in turn: content-blind round-robin, queue-aware
+// least-loaded, randomized power-of-two, and cache-affinity steering,
+// which sends each request to the lightest replica that will be ready
+// for it soonest, discounting availability by predicted-expert
+// residency. A fleet-level SLO guard sheds against fleet-aggregate
+// quantiles before any replica queues the request. The closing table is
+// the fleet study: routers × arrival rate at equal hardware, where
+// affinity meets or beats round-robin on goodput at fleet scale.
+//
+// Run with: go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hybrimoe/internal/cluster"
+	"hybrimoe/internal/engine"
+	"hybrimoe/internal/exp"
+	"hybrimoe/internal/report"
+	"hybrimoe/internal/workload"
+)
+
+func main() {
+	const (
+		seed     = 42
+		replicas = 3
+		rate     = 24.0 // req/s, hot enough that routing quality shows
+	)
+	reqs := workload.NewStream(seed, workload.AllDatasets()...).
+		WithArrivals(workload.Poisson(rate)).
+		NextN(12)
+	workload.CapDecode(reqs, 6)
+
+	// Every registered router over the identical burst and hardware:
+	// only the dispatch decision differs between rows.
+	fmt.Printf("%d requests, %d replicas, Poisson %.0f req/s:\n\n", len(reqs), replicas, rate)
+	fmt.Printf("  %-14s %-10s %-12s %-12s %s\n", "router", "makespan", "p95 TTFT", "mean TBT", "routed")
+	for _, name := range cluster.RouterNames() {
+		c, err := exp.NewFleet(replicas, name, seed, 0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Submit(reqs...)
+		var ttfts, tbts []float64
+		makespan := 0.0
+		c.Run(func(ev cluster.Event) {
+			if ev.End > makespan {
+				makespan = ev.End
+			}
+			switch ev.Phase {
+			case engine.PhasePrefill:
+				ttfts = append(ttfts, ev.Queued+ev.Latency)
+			case engine.PhaseDecode:
+				tbts = append(tbts, ev.Latency)
+			}
+		})
+		fmt.Printf("  %-14s %-10s %-12s %-12s %v\n", name,
+			fmt.Sprintf("%.3fs", makespan),
+			fmt.Sprintf("%.4fs", report.Latencies(ttfts).P95),
+			fmt.Sprintf("%.5fs", report.Latencies(tbts).Mean),
+			c.Routed())
+	}
+
+	// One streaming run in detail: affinity routing with a fleet-level
+	// SLO guard at the door. Shed events carry Replica == FleetReplica —
+	// the request never reached a replica queue.
+	c, err := exp.NewFleet(replicas, "affinity", seed, 0.25,
+		cluster.WithAdmission(engine.NewSLOAdmission(0.45, 0)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Submit(reqs...)
+	fmt.Println("\naffinity fleet with SLO admission (p95 TTFT 0.45s) at the fleet door:")
+	c.Run(func(ev cluster.Event) {
+		switch ev.Phase {
+		case engine.PhasePrefill:
+			fmt.Printf("  t=%6.3fs r%d req %2d prefill %4d tokens, queued %.4fs, TTFT %.4fs\n",
+				ev.End, ev.Replica, ev.Request, ev.Tokens, ev.Queued, ev.Queued+ev.Latency)
+		case engine.PhaseShed:
+			fmt.Printf("  t=%6.3fs    req %2d SHED before routing (fleet p95 over budget)\n",
+				ev.End, ev.Request)
+		}
+	})
+	fmt.Printf("shed %d of %d; routed per replica: %v\n", c.Shed(), len(reqs), c.Routed())
+	for i := 0; i < replicas; i++ {
+		fmt.Printf("  replica %d: clock %.3fs, cache hit rate %.1f%%\n",
+			i, c.Engine(i).Clock(), 100*c.Engine(i).Caches().HitRate())
+	}
+
+	// The full sweep: fleet size × router × arrival rate, calibrated
+	// from a single-replica closed-loop run — the registered "fleet"
+	// experiment's exact shape, where affinity meets or beats
+	// round-robin on goodput at every 4-replica cell.
+	fmt.Println()
+	p := exp.QuickParams()
+	exp.FleetStudy(p, 16, []int{2, 4}, 0.25).Render(os.Stdout)
+}

@@ -1,0 +1,400 @@
+// Package cluster lifts the single-box Session to a fleet: N independent
+// engine replicas — each with its own topology, cache, scheduler, batcher
+// and RNG stream — advanced in lockstep on a shared simulation clock,
+// with arriving requests dispatched across them by a pluggable Router.
+// The locality argument the paper makes for CPU↔GPU expert caching
+// recurs one level up: steering a request toward the replica whose cache
+// shards already hold its predicted experts (the affinity router) buys
+// the same transfer avoidance that intra-box placement does.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybrimoe/internal/engine"
+	"hybrimoe/internal/report"
+	"hybrimoe/internal/workload"
+)
+
+// FleetReplica marks Events produced by the cluster itself — fleet-level
+// admission sheds and deferrals that happen before any replica is picked.
+const FleetReplica = -1
+
+// replicaSeedStride spaces per-replica RNG seeds (the golden-ratio
+// increment splitmix64 uses), so sibling replicas draw decorrelated
+// trace and workload streams from one base seed.
+const replicaSeedStride = 0x9E3779B97F4A7C15
+
+// ReplicaSeed derives replica i's RNG seed from a fleet base seed —
+// the convention every fleet consumer (experiments, CLI, benchmarks)
+// shares so equal-seed runs stay byte-stable across entry points.
+func ReplicaSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*replicaSeedStride
+}
+
+// Event is one fleet step: a replica's StepEvent tagged with the replica
+// index that produced it, or a fleet-level admission record tagged
+// FleetReplica. The embedded StepEvent keeps existing reporting working
+// unchanged on per-replica slices of the stream.
+type Event struct {
+	// Replica indexes the replica that emitted the event, or is
+	// FleetReplica for cluster-level admission records.
+	Replica int
+	engine.StepEvent
+}
+
+// fleetRequest tracks one submitted request awaiting dispatch.
+type fleetRequest struct {
+	req      workload.Request
+	deferred bool // a fleet-level PhaseDeferred event has been emitted
+}
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithMaxConcurrent sets every replica session's concurrency limit
+// (engine.WithMaxConcurrent semantics). The default of 1 serves each
+// replica's requests strictly in order. n < 1 panics.
+func WithMaxConcurrent(n int) Option {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: WithMaxConcurrent(%d) must be at least 1", n))
+	}
+	return func(c *Cluster) { c.maxConcurrent = n }
+}
+
+// WithAdmission installs a fleet-level admission policy consulted at
+// dispatch time, before a request reaches any replica — router-level
+// shedding over fleet-aggregate TTFT/TBT quantiles. Replica sessions
+// keep whatever admission their engines were built with; the two layers
+// compose (fleet sheds first, replicas may still defer what gets
+// through).
+func WithAdmission(p engine.AdmissionPolicy) Option {
+	return func(c *Cluster) { c.adm = p }
+}
+
+// replica is one independent serving stack.
+type replica struct {
+	eng *engine.Engine
+	ses *engine.Session
+}
+
+// Cluster owns N replica stacks and a router, and advances the fleet in
+// lockstep: each Step dispatches every arrival the shared clock has
+// reached, then runs one session step on the replica whose clock trails
+// the fleet. Equal-seed runs are byte-stable — the router is the only
+// coupling between replicas, and every stochastic component draws from
+// its own seeded stream.
+type Cluster struct {
+	replicas      []*replica
+	router        Router
+	adm           engine.AdmissionPolicy
+	maxConcurrent int
+	// pending holds submitted requests not yet dispatched, stable-sorted
+	// by arrival stamp (submission order breaks ties), so dispatch is
+	// order-preserving the way session admission is.
+	pending []*fleetRequest
+	// queue holds fleet-level admission records awaiting emission, one
+	// per Step call, ahead of replica compute — the session's admEvents
+	// idiom at fleet scope.
+	queue []Event
+	// ttfts and tbts aggregate latency observations across every
+	// replica's event stream; fleet admission snapshots quantile over
+	// them. Only maintained when a fleet admission policy is installed.
+	ttfts, tbts report.Live
+	// promptless marks dispatched request IDs with no prefill, so
+	// observe can attribute their first decode as a TTFT observation
+	// the way the session's decode-only path does.
+	promptless map[int]bool
+	routed     []int
+	steps      int
+	shed       int
+	deferred   int
+}
+
+// New builds an n-replica cluster: build(i) constructs replica i's
+// engine (seed it per-replica for byte-stable runs), and router
+// dispatches arrivals across the resulting sessions. A build error is
+// returned with its replica index attached.
+func New(n int, router Router, build func(i int) (*engine.Engine, error), opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: replica count %d must be at least 1", n)
+	}
+	if router == nil {
+		return nil, fmt.Errorf("cluster: nil router")
+	}
+	c := &Cluster{
+		router:        router,
+		maxConcurrent: 1,
+		promptless:    map[int]bool{},
+		routed:        make([]int, n),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	for i := 0; i < n; i++ {
+		eng, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building replica %d: %w", i, err)
+		}
+		c.replicas = append(c.replicas, &replica{
+			eng: eng,
+			ses: eng.NewSession(engine.WithMaxConcurrent(c.maxConcurrent)),
+		})
+	}
+	return c, nil
+}
+
+// Submit enqueues requests for dispatch. Zero-work requests are dropped
+// the way Session.Submit drops them; the rest join the arrival-ordered
+// dispatch queue (stable, so equal stamps keep submission order).
+func (c *Cluster) Submit(reqs ...workload.Request) {
+	for _, r := range reqs {
+		if r.PromptTokens <= 0 && r.DecodeTokens <= 0 {
+			continue
+		}
+		c.pending = append(c.pending, &fleetRequest{req: r})
+	}
+	sort.SliceStable(c.pending, func(i, j int) bool {
+		return c.pending[i].req.Arrival < c.pending[j].req.Arrival
+	})
+}
+
+// Pending reports how many requests have not yet finished: undispatched
+// arrivals plus every replica's in-flight and queued count.
+func (c *Cluster) Pending() int {
+	n := len(c.pending)
+	for _, r := range c.replicas {
+		n += r.ses.Pending()
+	}
+	return n
+}
+
+// Replicas reports the fleet size.
+func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// Session returns replica i's session, for per-replica inspection.
+func (c *Cluster) Session(i int) *engine.Session { return c.replicas[i].ses }
+
+// Engine returns replica i's engine.
+func (c *Cluster) Engine(i int) *engine.Engine { return c.replicas[i].eng }
+
+// Routed reports how many requests the router dispatched to each
+// replica (fleet-level sheds excluded).
+func (c *Cluster) Routed() []int { return append([]int(nil), c.routed...) }
+
+// Steps reports how many events the cluster has emitted, fleet-level
+// admission records included.
+func (c *Cluster) Steps() int { return c.steps }
+
+// Shed reports how many requests fleet-level admission dropped (replica
+// sessions count their own sheds separately).
+func (c *Cluster) Shed() int { return c.shed }
+
+// Deferred reports how many fleet-level deferral verdicts admission
+// returned (one request deferred across n dispatch passes counts n
+// times; its PhaseDeferred event is emitted once).
+func (c *Cluster) Deferred() int { return c.deferred }
+
+// RouterName reports the dispatch policy steering this cluster.
+func (c *Cluster) RouterName() string { return c.router.Name() }
+
+// frontier reports the minimum simulation clock across replicas with
+// work in flight — the instant the fleet's next compute step runs at,
+// and therefore the latest arrival stamp dispatch may observe without
+// leaking the future. ok is false when every replica is idle.
+func (c *Cluster) frontier() (at float64, ok bool) {
+	for _, r := range c.replicas {
+		if r.ses.Pending() == 0 {
+			continue
+		}
+		if clk := r.eng.Clock(); !ok || clk < at {
+			at, ok = clk, true
+		}
+	}
+	return at, ok
+}
+
+// views assembles the router's per-replica snapshot: queue depth, clock,
+// and the predicted-expert residency the affinity router scores.
+func (c *Cluster) views() []ReplicaView {
+	views := make([]ReplicaView, len(c.replicas))
+	for i, r := range c.replicas {
+		res, pred := r.eng.PredictedResidency()
+		views[i] = ReplicaView{
+			Index:     i,
+			Pending:   r.ses.Pending(),
+			Clock:     r.eng.Clock(),
+			Resident:  res,
+			Predicted: pred,
+		}
+	}
+	return views
+}
+
+// snapshot assembles the fleet-aggregate view a fleet admission
+// decision sees at dispatch time now.
+func (c *Cluster) snapshot(now float64) engine.SLOSnapshot {
+	active, queued := 0, 0
+	for _, r := range c.replicas {
+		active += r.ses.Pending()
+	}
+	for _, fr := range c.pending {
+		if fr.req.Arrival <= now {
+			queued++
+		}
+	}
+	return engine.SLOSnapshot{
+		Now:    now,
+		TTFT:   c.ttfts.Stats(),
+		TBT:    c.tbts.Stats(),
+		Active: active,
+		Queued: queued,
+	}
+}
+
+// dispatch moves every observable arrival through fleet admission and
+// the router into a replica session. The horizon — the latest arrival
+// stamp dispatch may act on — is the busy-replica clock frontier, or the
+// head arrival itself when the fleet is idle (the clock is about to jump
+// there, the session idle-gap rule lifted to the fleet). The horizon
+// only ratchets forward within one pass: dispatching to a stale-clocked
+// idle replica lowers the raw frontier, but an arrival observable at a
+// time stays observable. Dispatch is order-preserving — a deferred head
+// blocks everything behind it, unless the whole fleet is idle, in which
+// case it is promoted the way an empty session promotes (waiting cannot
+// improve quantiles no one is producing).
+func (c *Cluster) dispatch() {
+	horizon := math.Inf(-1)
+	for len(c.pending) > 0 {
+		head := c.pending[0]
+		front, busy := c.frontier()
+		switch {
+		case busy && front > horizon:
+			horizon = front
+		case !busy && head.req.Arrival > horizon:
+			horizon = head.req.Arrival
+		}
+		if head.req.Arrival > horizon {
+			return
+		}
+		if c.adm != nil {
+			switch d := c.adm.Decide(head.req, c.snapshot(horizon)); d {
+			case engine.AdmissionShed:
+				c.pending = c.pending[1:]
+				c.shed++
+				c.queue = append(c.queue, Event{Replica: FleetReplica, StepEvent: engine.StepEvent{
+					Request: head.req.ID, Phase: engine.PhaseShed,
+					Start: horizon, End: horizon,
+					Deadline: head.req.Deadline, Arrival: head.req.Arrival,
+					Class: head.req.Class, Done: true,
+				}})
+				continue
+			case engine.AdmissionDefer:
+				c.deferred++
+				if busy {
+					if !head.deferred {
+						head.deferred = true
+						c.queue = append(c.queue, Event{Replica: FleetReplica, StepEvent: engine.StepEvent{
+							Request: head.req.ID, Phase: engine.PhaseDeferred,
+							Start: horizon, End: horizon,
+							Deadline: head.req.Deadline, Arrival: head.req.Arrival,
+							Class: head.req.Class,
+						}})
+					}
+					return
+				}
+				// Idle-fleet promotion: the verdict counts, the wait is
+				// skipped, exactly as in Session.admit.
+			}
+		}
+		views := c.views()
+		pick := c.router.Pick(head.req, views)
+		if pick < 0 || pick >= len(c.replicas) {
+			panic(fmt.Sprintf("cluster: router %q picked replica %d of %d",
+				c.router.Name(), pick, len(c.replicas)))
+		}
+		c.pending = c.pending[1:]
+		c.routed[pick]++
+		if head.req.PromptTokens <= 0 {
+			c.promptless[head.req.ID] = true
+		}
+		c.replicas[pick].ses.Submit(head.req)
+	}
+}
+
+// observe folds a replica event into the fleet-aggregate latency
+// accumulators fleet admission quantiles over — queue-inclusive TTFT on
+// prefills (and on a prompt-less request's first arrival-stamped
+// decode), raw per-step TBT on decodes — mirroring what each session
+// feeds its own admission.
+func (c *Cluster) observe(ev engine.StepEvent) {
+	if c.adm == nil {
+		return
+	}
+	switch ev.Phase {
+	case engine.PhasePrefill:
+		c.ttfts.Add(ev.Queued + ev.Latency)
+	case engine.PhaseDecode:
+		c.tbts.Add(ev.Latency)
+		if c.promptless[ev.Request] && ev.Index == 0 && ev.Arrival > 0 {
+			c.ttfts.Add(ev.Queued + ev.Latency)
+		}
+	}
+}
+
+// Step advances the fleet by one event: a queued fleet admission record
+// if one is waiting, else one session step on the busy replica whose
+// clock trails the fleet (ties to the lowest index — the deterministic
+// lockstep order). ok is false when every submitted request has finished
+// or been shed.
+func (c *Cluster) Step() (ev Event, ok bool) {
+	if len(c.queue) == 0 {
+		c.dispatch()
+	}
+	if len(c.queue) > 0 {
+		ev = c.queue[0]
+		c.queue = c.queue[1:]
+		c.steps++
+		return ev, true
+	}
+	pick := -1
+	for i, r := range c.replicas {
+		if r.ses.Pending() == 0 {
+			continue
+		}
+		if pick < 0 || r.eng.Clock() < c.replicas[pick].eng.Clock() {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return Event{}, false
+	}
+	sev, sok := c.replicas[pick].ses.Step()
+	if !sok {
+		// Pending() > 0 guarantees the session has a step to run; a
+		// refusal is an accounting bug, not a drained fleet.
+		panic(fmt.Sprintf("cluster: replica %d session refused to step with %d pending",
+			pick, c.replicas[pick].ses.Pending()))
+	}
+	c.observe(sev)
+	c.steps++
+	return Event{Replica: pick, StepEvent: sev}, true
+}
+
+// Run drains the cluster, invoking handler (when non-nil) on every
+// event, and returns the number of events emitted.
+func (c *Cluster) Run(handler func(Event)) int {
+	n := 0
+	for {
+		ev, ok := c.Step()
+		if !ok {
+			return n
+		}
+		if handler != nil {
+			handler(ev)
+		}
+		n++
+	}
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"hybrimoe/internal/stats"
+	"hybrimoe/internal/workload"
+)
+
+// ReplicaView is one replica's state as a router sees it at dispatch
+// time: queue depth, clock, and the cache-affinity signal.
+type ReplicaView struct {
+	// Index is the replica's position in the cluster.
+	Index int
+	// Pending is the replica's in-flight plus queued request count
+	// (Session.Pending).
+	Pending int
+	// Clock is the replica's simulation clock in seconds.
+	Clock float64
+	// Resident and Predicted carry the expert-affinity signal
+	// (Engine.PredictedResidency): of the Predicted experts the
+	// replica's gate-reuse prediction expects its next iteration to
+	// activate, Resident are already held by its per-device cache
+	// shards. Resident/Predicted is the replica's cache readiness for
+	// the work it is about to do — the overlap between the request's
+	// predicted expert set on that replica and the experts the replica
+	// already holds.
+	Resident, Predicted int
+}
+
+// readiness is the affinity score: predicted-expert residency fraction.
+func (v ReplicaView) readiness() float64 {
+	if v.Predicted == 0 {
+		return 0
+	}
+	return float64(v.Resident) / float64(v.Predicted)
+}
+
+// Router picks the replica each arriving request is dispatched to.
+// Pick sees every replica (views[i].Index == i) and must return a valid
+// index; the cluster panics on an out-of-range pick, the way the engine
+// treats scheduler bugs. Routers may keep state (cursors, RNG streams) —
+// the cluster owns exactly one instance, so dispatch order is the only
+// input and runs stay byte-stable.
+type Router interface {
+	// Name identifies the router in experiment tables.
+	Name() string
+	// Pick returns the replica index req is dispatched to.
+	Pick(req workload.Request, views []ReplicaView) int
+}
+
+// RoundRobin dispatches requests to replicas in rotation, blind to load
+// and cache state — the content-blind fleet baseline.
+type RoundRobin struct{ next int }
+
+// NewRoundRobin returns a rotation starting at replica 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Router.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Router.
+func (r *RoundRobin) Pick(_ workload.Request, views []ReplicaView) int {
+	idx := r.next % len(views)
+	r.next = (r.next + 1) % len(views)
+	return idx
+}
+
+// LeastLoaded dispatches each request to the replica with the fewest
+// pending requests (ties to the lowest index) — load-aware but blind to
+// cache state.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the least-loaded router.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Router.
+func (l *LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Router.
+func (l *LeastLoaded) Pick(_ workload.Request, views []ReplicaView) int {
+	best := 0
+	for _, v := range views[1:] {
+		if v.Pending < views[best].Pending {
+			best = v.Index
+		}
+	}
+	return best
+}
+
+// PowerOfTwo samples two distinct replicas from its own RNG stream and
+// dispatches to the lighter one (ties to the lower index) — the classic
+// randomized load balancer, far better than random-one at a fraction of
+// least-loaded's coordination cost.
+type PowerOfTwo struct{ rng *stats.RNG }
+
+// NewPowerOfTwo returns a power-of-two-choices router drawing from its
+// own seeded stream, so fleet runs stay deterministic.
+func NewPowerOfTwo(seed uint64) *PowerOfTwo {
+	return &PowerOfTwo{rng: stats.NewRNG(seed ^ 0x70f2_c401_9b5d_e6a3)}
+}
+
+// Name implements Router.
+func (p *PowerOfTwo) Name() string { return "power-of-two" }
+
+// Pick implements Router.
+func (p *PowerOfTwo) Pick(_ workload.Request, views []ReplicaView) int {
+	n := len(views)
+	if n == 1 {
+		return 0
+	}
+	i := p.rng.Intn(n)
+	j := p.rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	if i > j {
+		i, j = j, i
+	}
+	// i < j: on equal depth the lower index wins, keeping ties
+	// deterministic whatever order the draws came out.
+	if views[j].Pending < views[i].Pending {
+		return j
+	}
+	return i
+}
+
+// DefaultReadyDiscount is the availability credit (in seconds) a fully
+// resident predicted expert set buys a replica under Affinity scoring —
+// on the order of the CPU→GPU transfer time the resident experts will
+// not pay, a few decode steps' worth.
+const DefaultReadyDiscount = 0.05
+
+// Affinity steers each request toward the eligible replica that will be
+// ready for it soonest, where "ready" folds cache state into
+// availability: each replica's score is its clock minus a residency
+// discount — the fraction of its predicted expert set already resident
+// (ReplicaView.Resident/Predicted, the per-device attribution from
+// cache.Multi surfaced by Engine.PredictedResidency) times
+// ReadyDiscount, the transfer time those resident experts won't pay.
+// Warm replicas therefore win exactly the near-ties where cache
+// readiness covers the clock gap, instead of accumulating load
+// unboundedly. A load-imbalance cap keeps hot experts from melting one
+// replica: only replicas within ImbalanceCap requests of the lightest
+// queue are eligible, so affinity never trades locality for unbounded
+// queue skew. Score ties go to the lowest index.
+type Affinity struct {
+	// ImbalanceCap is the maximum queue-depth excess over the lightest
+	// replica an eligible pick may carry. The zero value — strict
+	// load balance, locality only breaks availability ties — is the
+	// default; negative values are treated as 0.
+	ImbalanceCap int
+	// ReadyDiscount is the availability credit (seconds) full predicted
+	// residency buys; non-positive values fall back to
+	// DefaultReadyDiscount.
+	ReadyDiscount float64
+}
+
+// NewAffinity returns an affinity router with the default strict
+// imbalance cap and readiness discount.
+func NewAffinity() *Affinity { return &Affinity{} }
+
+// Name implements Router.
+func (a *Affinity) Name() string { return "affinity" }
+
+func (a *Affinity) cap() int {
+	if a.ImbalanceCap < 0 {
+		return 0
+	}
+	return a.ImbalanceCap
+}
+
+func (a *Affinity) discount() float64 {
+	if a.ReadyDiscount <= 0 {
+		return DefaultReadyDiscount
+	}
+	return a.ReadyDiscount
+}
+
+// Pick implements Router.
+func (a *Affinity) Pick(_ workload.Request, views []ReplicaView) int {
+	minPending := views[0].Pending
+	for _, v := range views[1:] {
+		if v.Pending < minPending {
+			minPending = v.Pending
+		}
+	}
+	best, bestScore := -1, 0.0
+	for _, v := range views {
+		if v.Pending > minPending+a.cap() {
+			continue
+		}
+		score := v.Clock - a.discount()*v.readiness()
+		if best < 0 || score < bestScore {
+			best, bestScore = v.Index, score
+		}
+	}
+	return best
+}
+
+// Factory builds one router instance for a cluster of n replicas.
+// Randomized routers derive their stream from seed, so equal-seed runs
+// are byte-stable.
+type Factory func(n int, seed uint64) Router
+
+var registry = map[string]Factory{}
+
+// RegisterRouter makes a router constructible by name through NewRouter.
+// Duplicate names and nil factories panic — plugin wiring bugs, caught
+// at init time like the sched/cache/reqsched registries.
+func RegisterRouter(name string, f Factory) {
+	if name == "" {
+		panic("cluster: RegisterRouter with empty name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("cluster: RegisterRouter(%q) with nil factory", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("cluster: RegisterRouter(%q) called twice", name))
+	}
+	registry[name] = f
+}
+
+// NewRouter builds the named router for an n-replica fleet, or returns
+// a descriptive error for an unknown name.
+func NewRouter(name string, n int, seed uint64) (Router, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown router %q (have %v)", name, RouterNames())
+	}
+	return f(n, seed), nil
+}
+
+// RouterNames lists the registered routers in sorted order.
+func RouterNames() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterRouter("round-robin", func(int, uint64) Router { return NewRoundRobin() })
+	RegisterRouter("least-loaded", func(int, uint64) Router { return NewLeastLoaded() })
+	RegisterRouter("power-of-two", func(_ int, seed uint64) Router { return NewPowerOfTwo(seed) })
+	RegisterRouter("affinity", func(int, uint64) Router { return NewAffinity() })
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"testing"
+
+	"hybrimoe/internal/report"
+	"hybrimoe/internal/workload"
+)
+
+// TestSLOAdmissionClassTargets unit-tests the per-class override table:
+// a class entry replaces the guard-wide budgets, zero fields inherit,
+// and ShedExempt converts hard-breach sheds into deferrals the way
+// Priority > 0 does.
+func TestSLOAdmissionClassTargets(t *testing.T) {
+	a := NewSLOAdmission(1.0, 0)
+	a.Classes = map[string]ClassTarget{
+		"interactive": {TTFTp95: 0.5},
+		"batch":       {TTFTp95: 10},
+		"protected":   {ShedExempt: true},
+	}
+	sample := func(p95 float64, n int) SLOSnapshot {
+		return SLOSnapshot{TTFT: report.LatencyStats{N: n, P95: p95}}
+	}
+	cases := []struct {
+		name string
+		req  workload.Request
+		snap SLOSnapshot
+		want AdmissionDecision
+	}{
+		{"unclassified keeps guard-wide", workload.Request{}, sample(1.2, 10), AdmissionDefer},
+		{"strict class sheds where guard-wide admits", workload.Request{Class: "interactive"}, sample(0.9, 10), AdmissionShed},
+		{"lax class admits where guard-wide sheds", workload.Request{Class: "batch"}, sample(2.0, 10), AdmissionAdmit},
+		{"unknown class keeps guard-wide", workload.Request{Class: "mystery"}, sample(2.0, 10), AdmissionShed},
+		{"zero-field entry inherits guard-wide target", workload.Request{Class: "protected"}, sample(1.2, 10), AdmissionDefer},
+		{"shed-exempt class defers on hard breach", workload.Request{Class: "protected"}, sample(2.0, 10), AdmissionDefer},
+		{"exemption does not bypass the sample floor", workload.Request{Class: "interactive"}, sample(9, 2), AdmissionAdmit},
+	}
+	for _, tc := range cases {
+		if got := a.Decide(tc.req, tc.snap); got != tc.want {
+			t.Errorf("%s: Decide = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSessionClassBudgetsShedSelectively is the satellite regression
+// end to end: one bursty session carrying two SLO classes through one
+// admission guard — the strict class's tight TTFT budget breaches under
+// queueing and sheds, while the lax class rides the very same quantiles
+// through untouched.
+func TestSessionClassBudgetsShedSelectively(t *testing.T) {
+	mkReqs := func() []workload.Request {
+		reqs := make([]workload.Request, 12)
+		for i := range reqs {
+			class := "interactive"
+			if i%2 == 1 {
+				class = "batch"
+			}
+			// A near-simultaneous burst, far faster than the server
+			// drains it: queue wait dominates the shared TTFT quantiles.
+			reqs[i] = workload.Request{ID: i, PromptTokens: 32, DecodeTokens: 2,
+				Class: class, Arrival: 0.001 * float64(i+1)}
+		}
+		return reqs
+	}
+	// Calibrate the strict budget just above the forward-only TTFT, the
+	// queue-blind-fix idiom: only queueing can breach it.
+	var maxForward float64
+	{
+		e := newEngineOpts(t, 430)
+		s := e.NewSession()
+		for _, r := range mkReqs() {
+			r.Arrival = 0
+			s.Submit(r)
+		}
+		s.Run(func(ev StepEvent) {
+			if ev.Phase == PhasePrefill && ev.Latency > maxForward {
+				maxForward = ev.Latency
+			}
+		})
+	}
+	e := newEngineOpts(t, 430, WithAdmission(&SLOAdmission{
+		MinSamples: 2,
+		ShedFactor: 1.2,
+		Classes: map[string]ClassTarget{
+			"interactive": {TTFTp95: maxForward * 1.05},
+			"batch":       {TTFTp95: 1000},
+		},
+	}))
+	s := e.NewSession()
+	s.Submit(mkReqs()...)
+	shedByClass := map[string]int{}
+	doneByClass := map[string]int{}
+	s.Run(func(ev StepEvent) {
+		switch {
+		case ev.Phase == PhaseShed:
+			shedByClass[ev.Class]++
+		case ev.Done:
+			doneByClass[ev.Class]++
+		}
+	})
+	if shedByClass["interactive"] == 0 {
+		t.Fatal("strict class shed nothing under a breached budget")
+	}
+	if shedByClass["batch"] != 0 {
+		t.Fatalf("lax class shed %d requests under a 1000s budget", shedByClass["batch"])
+	}
+	if doneByClass["batch"] != 6 {
+		t.Fatalf("lax class completed %d of 6 requests", doneByClass["batch"])
+	}
+}

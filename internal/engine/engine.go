@@ -10,6 +10,7 @@ import (
 	"hybrimoe/internal/prefetch"
 	"hybrimoe/internal/sched"
 	"hybrimoe/internal/sim"
+	"hybrimoe/internal/tensor"
 	"hybrimoe/internal/trace"
 )
 
@@ -557,6 +558,37 @@ func (e *Engine) linkTL(d int) *sim.Timeline {
 		return nil
 	}
 	return e.linkTLs[d]
+}
+
+// Clock reports the engine's simulation clock in seconds — the frontier
+// a fleet layer interleaves replica steps on.
+func (e *Engine) Clock() float64 { return e.clock }
+
+// PredictedResidency reports the cache-affinity signal fleet routers
+// steer on: of the experts the gate-reuse prediction expects the next
+// iteration to activate (lookahead-1 predicted top-k per layer, the same
+// prediction the impact-driven prefetcher prices), how many are already
+// resident in the expert cache this engine's placement can use. The call
+// is pure — it reads the stable per-iteration prediction stream and the
+// residency sets without touching hit/miss accounting or policy state —
+// so routers may poll it at every dispatch without perturbing runs.
+func (e *Engine) PredictedResidency() (resident, predicted int) {
+	for l := 0; l < e.cfg.Layers; l++ {
+		scores := e.gen.PredictedScores(l, 1)
+		f32 := make([]float32, len(scores))
+		for i, v := range scores {
+			f32[i] = float32(v)
+		}
+		for _, x := range tensor.TopK(f32, e.cfg.ActivatedExperts) {
+			predicted++
+			// isCached covers layer-mapped frameworks too (their
+			// residency is the static layer split, not the cache).
+			if e.isCached(moe.ExpertID{Layer: l, Index: x}) {
+				resident++
+			}
+		}
+	}
+	return resident, predicted
 }
 
 // Cache exposes GPU0's expert-cache shard — the whole cache on

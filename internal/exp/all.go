@@ -50,6 +50,9 @@ func Registry() []Experiment {
 		{"placement", "Multi-GPU placement: topology × scheduler × cache ratio", func(p Params) Renderable {
 			return PlacementStudy(p, 8)
 		}},
+		{"fleet", "Multi-replica fleet: routers × Poisson arrival rate", func(p Params) Renderable {
+			return FleetStudy(p, 16, []int{2, 4}, 0.25)
+		}},
 		{"precision", "INT4 vs INT8 offloading trade-off", func(p Params) Renderable { return PrecisionStudy(p) }},
 	}
 }

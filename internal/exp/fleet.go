@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+
+	"hybrimoe/internal/cluster"
+	"hybrimoe/internal/engine"
+	"hybrimoe/internal/hw"
+	"hybrimoe/internal/moe"
+	"hybrimoe/internal/report"
+	"hybrimoe/internal/workload"
+)
+
+// FleetConcurrent is the per-replica session concurrency every fleet
+// consumer uses, matching the open-loop study's serving shape.
+const FleetConcurrent = 3
+
+// fleetRun aggregates one replicas × router × arrival-rate serving run.
+type fleetRun struct {
+	offered, completed, shed int
+	clockEnd                 float64
+	ttftQ                    report.LatencyStats
+	routed                   []int
+}
+
+func (r fleetRun) shedFraction() float64 {
+	if r.offered == 0 {
+		return 0
+	}
+	return float64(r.shed) / float64(r.offered)
+}
+
+// goodput reports completions per simulated second of fleet makespan.
+// Routing to the replica whose cache is ready moves it two ways at
+// once: warm steps advance the clock less, and the latency they save
+// keeps the admission guard from shedding.
+func (r fleetRun) goodput() float64 {
+	if r.clockEnd == 0 {
+		return 0
+	}
+	return float64(r.completed) / r.clockEnd
+}
+
+// NewFleet assembles the canonical fleet every consumer (the study, the
+// CLI, the benchmark) shares: n HybriMoE replicas on A6000-class boxes,
+// seeded per replica from the base seed, steered by the named router.
+func NewFleet(n int, routerName string, seed uint64, ratio float64,
+	opts ...cluster.Option) (*cluster.Cluster, error) {
+	router, err := cluster.NewRouter(routerName, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	build := func(i int) (*engine.Engine, error) {
+		return engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+			engine.WithCacheRatio(ratio),
+			engine.WithSeed(cluster.ReplicaSeed(seed, i)))
+	}
+	opts = append([]cluster.Option{cluster.WithMaxConcurrent(FleetConcurrent)}, opts...)
+	return cluster.New(n, router, build, opts...)
+}
+
+// driveFleet serves reqs through a fresh n-replica fleet under the
+// named router and optional fleet-level admission policy.
+func driveFleet(p Params, ratio float64, n int, routerName string,
+	reqs []workload.Request, adm engine.AdmissionPolicy) fleetRun {
+	var opts []cluster.Option
+	if adm != nil {
+		opts = append(opts, cluster.WithAdmission(adm))
+	}
+	c, err := NewFleet(n, routerName, p.Seed, ratio, opts...)
+	if err != nil {
+		panic(err)
+	}
+	c.Submit(reqs...)
+
+	r := fleetRun{offered: len(reqs)}
+	var ttftQ []float64
+	c.Run(func(ev cluster.Event) {
+		if ev.End > r.clockEnd {
+			r.clockEnd = ev.End
+		}
+		switch ev.Phase {
+		case engine.PhasePrefill:
+			ttftQ = append(ttftQ, ev.Queued+ev.Latency)
+		case engine.PhaseShed:
+			r.shed++
+			return
+		case engine.PhaseDeferred:
+			return
+		}
+		if ev.Done {
+			r.completed++
+		}
+	})
+	r.ttftQ = report.Latencies(ttftQ)
+	r.routed = c.Routed()
+	return r
+}
+
+// fleetGuard builds the study's fleet-level SLO admission guard from a
+// calibrated forward (unqueued) p95 TTFT: the budget sits 25% above it,
+// so only fleet queueing can breach. Each run gets a fresh policy — the
+// guard's quantiles are fleet-aggregate state that must not leak across
+// rows.
+func fleetGuard(forward float64) func() engine.AdmissionPolicy {
+	return func() engine.AdmissionPolicy {
+		return &engine.SLOAdmission{TTFTp95: 1.25 * forward, MinSamples: 2, ShedFactor: 1.5}
+	}
+}
+
+// fleetRequests draws the study's request stream: the mixed corpus with
+// Poisson arrivals at rate (closed-loop when rate is 0 — the
+// calibration shape). Only the arrival stamps vary with the rate.
+func fleetRequests(p Params, requests int, rate float64) []workload.Request {
+	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
+	if rate > 0 {
+		stream.WithArrivals(workload.Poisson(rate))
+	}
+	reqs := stream.NextN(requests)
+	workload.CapDecode(reqs, p.DecodeSteps)
+	return reqs
+}
+
+// FleetStudy sweeps fleet size × router × Poisson arrival rate at equal
+// per-replica hardware: every row serves the same request sequence
+// through the same replicas, and only the dispatch policy differs. A
+// single-replica closed-loop run calibrates per-replica capacity (the
+// rate grid scales with fleet size) and the forward p95 anchoring the
+// fleet-level SLO guard, the open-loop study's idiom lifted to the
+// fleet. Reported per row: completions, shed fraction of offered load,
+// goodput (completions per simulated second of makespan), p95
+// queue-inclusive TTFT, the makespan itself, and the per-replica
+// dispatch spread. The locality claim this table carries: at fleet
+// scale (the 4-replica rows) affinity routing — steering load toward
+// the replica whose cache shards are ready for their next iteration —
+// meets or beats content-blind round-robin on goodput at every swept
+// rate at equal hardware, because warm steps advance the fleet clock
+// less and shed less under the same guard. With only two replicas the
+// readiness signal has almost no choice to exploit and the routers
+// mostly coincide.
+func FleetStudy(p Params, requests int, replicaCounts []int, ratio float64) *report.Table {
+	t := report.NewTable("Fleet study: replicas × router × Poisson arrival rate (HybriMoE)",
+		"replicas", "router", "rate(req/s)", "completed", "shed-fraction",
+		"goodput(req/s)", "p95-TTFT(s)", "makespan(s)", "routed")
+
+	// Single-replica closed-loop calibration: capacity in completions
+	// per busy second, and the unqueued forward p95 for the SLO target.
+	base := driveFleet(p, ratio, 1, "round-robin", fleetRequests(p, requests, 0), nil)
+	perReplica := float64(base.completed) / base.clockEnd
+	adm := fleetGuard(base.ttftQ.P95)
+
+	for _, n := range replicaCounts {
+		for _, mult := range []float64{1.5, 4} {
+			rate := mult * perReplica * float64(n)
+			reqs := fleetRequests(p, requests, rate)
+			for _, routerName := range cluster.RouterNames() {
+				r := driveFleet(p, ratio, n, routerName, reqs, adm())
+				t.AddRow(n, routerName, rate, r.completed, r.shedFraction(),
+					r.goodput(), r.ttftQ.P95, r.clockEnd, fmt.Sprint(r.routed))
+			}
+		}
+	}
+	return t
+}
