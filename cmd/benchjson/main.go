@@ -25,11 +25,13 @@
 //
 // In -diff mode the two snapshots are matched per benchmark (GOMAXPROCS
 // name suffixes stripped, so runs from differently-sized runners still
-// pair up) and compared on the gated units — ns/op plus every custom
-// ReportMetric unit; B/op, allocs/op and MB/s ride along in artifacts
-// but are too noisy at -benchtime=1x to gate on. Units ending in "/op"
-// regress upward, all others (speedups, hit-rate gains, throughputs)
-// regress downward. The result is a markdown table (pipe it into
+// pair up) and compared on the gated units — ns/op, allocs/op and every
+// custom ReportMetric unit; B/op and MB/s ride along in artifacts but
+// are too noisy at -benchtime=1x to gate on (allocation *counts* are a
+// property of the code path, near-deterministic on this repo's seeded
+// workloads, so allocs/op gates like ns/op and catches allocation
+// regressions on the hot paths). Units ending in "/op" regress upward,
+// all others (speedups, hit-rate gains, throughputs) regress downward. The result is a markdown table (pipe it into
 // $GITHUB_STEP_SUMMARY) and the exit status is 1 when any benchmark
 // moved beyond the threshold in its bad direction, so the CI job fails
 // exactly on a real trend break.
@@ -199,13 +201,15 @@ func benchKey(b Benchmark) string {
 	return b.Pkg + " " + name
 }
 
-// gated reports whether a unit participates in the trend gate: ns/op
-// and every custom ReportMetric unit. B/op, allocs/op and MB/s are
-// archived but not gated — allocation counts and throughput of a
-// -benchtime=1x smoke run gate on noise, not trends.
+// gated reports whether a unit participates in the trend gate: ns/op,
+// allocs/op and every custom ReportMetric unit. B/op and MB/s are
+// archived but not gated — byte counts and throughput of a
+// -benchtime=1x smoke run gate on noise, not trends, while allocation
+// counts are near-deterministic on seeded workloads and catch hot-path
+// allocation regressions the way ns/op catches slowdowns.
 func gated(unit string) bool {
 	switch unit {
-	case "B/op", "allocs/op", "MB/s":
+	case "B/op", "MB/s":
 		return false
 	}
 	return true
@@ -247,7 +251,7 @@ func diff(oldO, newO Output, threshold float64) (string, int) {
 
 	var sb strings.Builder
 	sb.WriteString("## Benchmark trend vs parent\n\n")
-	fmt.Fprintf(&sb, "Gate: ns/op and custom units, threshold %.4g%%.\n\n", threshold)
+	fmt.Fprintf(&sb, "Gate: ns/op, allocs/op and custom units, threshold %.4g%%.\n\n", threshold)
 	sb.WriteString("| benchmark | unit | old | new | Δ | status |\n")
 	sb.WriteString("|---|---|---:|---:|---:|---|\n")
 

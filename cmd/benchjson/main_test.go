@@ -106,18 +106,38 @@ func TestDiffCustomUnitDirection(t *testing.T) {
 	}
 }
 
-// TestDiffUngatesMemoryMetrics pins that B/op and allocs/op ride along
-// in artifacts but never gate: a -benchtime=1x allocation blip must not
-// fail CI.
-func TestDiffUngatesMemoryMetrics(t *testing.T) {
-	oldO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "B/op": 10, "allocs/op": 1}))
-	newO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "B/op": 900, "allocs/op": 50}))
+// TestDiffUngatesMemoryBytes pins that B/op rides along in artifacts
+// but never gates — a -benchtime=1x byte-count blip must not fail CI —
+// while allocs/op, near-deterministic on seeded workloads, gates like
+// ns/op.
+func TestDiffUngatesMemoryBytes(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "B/op": 10, "allocs/op": 40}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "B/op": 900, "allocs/op": 42}))
 	table, regressions := diff(oldO, newO, 15)
 	if regressions != 0 {
-		t.Fatalf("memory metrics gated: %d regressions\n%s", regressions, table)
+		t.Fatalf("B/op or a within-threshold allocs/op move gated: %d regressions\n%s", regressions, table)
 	}
 	if strings.Contains(table, "B/op") {
 		t.Fatalf("ungated unit rendered:\n%s", table)
+	}
+}
+
+// TestDiffGatesAllocRegressions pins the allocs/op gate: a >threshold
+// jump in allocations per op fails the trend the way an ns/op slowdown
+// does, and an allocation drop reads as improved.
+func TestDiffGatesAllocRegressions(t *testing.T) {
+	oldO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "allocs/op": 40}))
+	newO := mkOutput(bench("hybrimoe", "BenchmarkX", map[string]float64{"ns/op": 100, "allocs/op": 60}))
+	table, regressions := diff(oldO, newO, 15)
+	if regressions != 1 {
+		t.Fatalf("allocs/op 40 -> 60 must regress: %d\n%s", regressions, table)
+	}
+	if !strings.Contains(table, "allocs/op") {
+		t.Fatalf("gated unit not rendered:\n%s", table)
+	}
+	table, regressions = diff(newO, oldO, 15)
+	if regressions != 0 || !strings.Contains(table, "improved") {
+		t.Fatalf("allocs/op 60 -> 40 must improve: %d\n%s", regressions, table)
 	}
 }
 

@@ -13,6 +13,8 @@
 //	-seed N        trace seed (default 2025)
 //	-steps N       decode iterations per configuration (default 50)
 //	-quick         reduced iteration counts for a fast smoke run
+//	-workers N     sweep-runner parallelism for grid studies (0 = all CPUs);
+//	               results are identical for every worker count
 //
 // Serve flags (see `hybrimoe serve -h` for the full set):
 //
@@ -69,6 +71,7 @@ func run(args []string) error {
 	steps := fs.Int("steps", 50, "decode iterations per configuration")
 	quick := fs.Bool("quick", false, "reduced iteration counts")
 	short := fs.Bool("short", false, "alias for -quick (CI smoke runs)")
+	workers := fs.Int("workers", 0, "sweep-runner parallelism for grid studies (0 = all CPUs)")
 
 	switch cmd {
 	case "list":
@@ -90,6 +93,7 @@ func run(args []string) error {
 			return err
 		}
 		p := params(*seed, *steps, *quick || *short)
+		p.Workers = *workers
 		e.Run(p).Render(os.Stdout)
 		return nil
 
@@ -97,7 +101,9 @@ func run(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		exp.RunAll(os.Stdout, params(*seed, *steps, *quick || *short))
+		p := params(*seed, *steps, *quick || *short)
+		p.Workers = *workers
+		exp.RunAll(os.Stdout, p)
 		return nil
 
 	case "demo":

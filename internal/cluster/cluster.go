@@ -11,10 +11,10 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"hybrimoe/internal/engine"
 	"hybrimoe/internal/report"
+	"hybrimoe/internal/sim"
 	"hybrimoe/internal/workload"
 )
 
@@ -91,10 +91,11 @@ type Cluster struct {
 	router        Router
 	adm           engine.AdmissionPolicy
 	maxConcurrent int
-	// pending holds submitted requests not yet dispatched, stable-sorted
-	// by arrival stamp (submission order breaks ties), so dispatch is
+	// pending holds submitted requests not yet dispatched, keyed by
+	// arrival stamp on the shared deterministic event queue (push order
+	// breaks ties — exactly the old stable sort), so dispatch is
 	// order-preserving the way session admission is.
-	pending []*fleetRequest
+	pending sim.Queue[*fleetRequest]
 	// queue holds fleet-level admission records awaiting emission, one
 	// per Step call, ahead of replica compute — the session's admEvents
 	// idiom at fleet scope.
@@ -147,24 +148,22 @@ func New(n int, router Router, build func(i int) (*engine.Engine, error), opts .
 }
 
 // Submit enqueues requests for dispatch. Zero-work requests are dropped
-// the way Session.Submit drops them; the rest join the arrival-ordered
-// dispatch queue (stable, so equal stamps keep submission order).
+// the way Session.Submit drops them; the rest join the arrival-keyed
+// dispatch queue (FIFO among equal stamps, so equal stamps keep
+// submission order).
 func (c *Cluster) Submit(reqs ...workload.Request) {
 	for _, r := range reqs {
 		if r.PromptTokens <= 0 && r.DecodeTokens <= 0 {
 			continue
 		}
-		c.pending = append(c.pending, &fleetRequest{req: r})
+		c.pending.Push(r.Arrival, &fleetRequest{req: r})
 	}
-	sort.SliceStable(c.pending, func(i, j int) bool {
-		return c.pending[i].req.Arrival < c.pending[j].req.Arrival
-	})
 }
 
 // Pending reports how many requests have not yet finished: undispatched
 // arrivals plus every replica's in-flight and queued count.
 func (c *Cluster) Pending() int {
-	n := len(c.pending)
+	n := c.pending.Len()
 	for _, r := range c.replicas {
 		n += r.ses.Pending()
 	}
@@ -240,11 +239,11 @@ func (c *Cluster) snapshot(now float64) engine.SLOSnapshot {
 	for _, r := range c.replicas {
 		active += r.ses.Pending()
 	}
-	for _, fr := range c.pending {
-		if fr.req.Arrival <= now {
+	c.pending.Scan(func(at float64, _ *fleetRequest) {
+		if at <= now {
 			queued++
 		}
-	}
+	})
 	return engine.SLOSnapshot{
 		Now:    now,
 		TTFT:   c.ttfts.Stats(),
@@ -267,8 +266,11 @@ func (c *Cluster) snapshot(now float64) engine.SLOSnapshot {
 // improve quantiles no one is producing).
 func (c *Cluster) dispatch() {
 	horizon := math.Inf(-1)
-	for len(c.pending) > 0 {
-		head := c.pending[0]
+	for {
+		_, head, more := c.pending.PeekMin()
+		if !more {
+			return
+		}
 		front, busy := c.frontier()
 		switch {
 		case busy && front > horizon:
@@ -282,7 +284,7 @@ func (c *Cluster) dispatch() {
 		if c.adm != nil {
 			switch d := c.adm.Decide(head.req, c.snapshot(horizon)); d {
 			case engine.AdmissionShed:
-				c.pending = c.pending[1:]
+				c.pending.PopMin()
 				c.shed++
 				c.queue = append(c.queue, Event{Replica: FleetReplica, StepEvent: engine.StepEvent{
 					Request: head.req.ID, Phase: engine.PhaseShed,
@@ -315,7 +317,7 @@ func (c *Cluster) dispatch() {
 			panic(fmt.Sprintf("cluster: router %q picked replica %d of %d",
 				c.router.Name(), pick, len(c.replicas)))
 		}
-		c.pending = c.pending[1:]
+		c.pending.PopMin()
 		c.routed[pick]++
 		if head.req.PromptTokens <= 0 {
 			c.promptless[head.req.ID] = true

@@ -5,6 +5,7 @@ import (
 
 	"hybrimoe/internal/report"
 	"hybrimoe/internal/reqsched"
+	"hybrimoe/internal/sim"
 	"hybrimoe/internal/trace"
 	"hybrimoe/internal/workload"
 )
@@ -136,6 +137,7 @@ type sessionRequest struct {
 	prefilled bool
 	decoded   int
 	seq       int  // admission order, the schedulers' final tie-break
+	submitSeq int  // submission order, the arrived queue's sort key
 	deferred  bool // a PhaseDeferred event has been emitted
 	started   bool // the first compute step has run (queue wait stamped)
 }
@@ -145,17 +147,46 @@ func (r *sessionRequest) done() bool {
 	return prefillDone && r.decoded >= r.req.DecodeTokens
 }
 
-// Session is the streaming run loop: requests are submitted (up front
-// or while running), pass the admission policy, enter the active set up
-// to the concurrency limit, and are advanced one engine iteration per
-// Step call — the request picked by the configured request scheduler,
-// running a prefill forward or a single decode step — with a StepEvent
-// emitted for each. The expert cache, trace generator and device clocks
-// carry state across requests, the state a long-running server would
-// have.
+// sessionEvent is one entry on the Session's unified event timeline.
+type sessionEvent struct {
+	kind sessionEventKind
+	req  *sessionRequest // evArrival payload
+	ev   StepEvent       // evEmit payload
+}
+
+// sessionEventKind discriminates the timeline's event kinds.
+type sessionEventKind uint8
+
+const (
+	// evArrival fires when the clock reaches a submitted request's
+	// arrival stamp; the request joins the admission queue.
+	evArrival sessionEventKind = iota
+	// evEmit is a completed iteration's pending StepEvent (the trailing
+	// members of a merged batch) or an admission shed/deferral record,
+	// stamped at the clock instant it was produced and drained one per
+	// Step call.
+	evEmit
+	// evPrefetchDone marks the instant an iteration's in-flight
+	// prefetch transfers complete on the link frontiers — bookkeeping
+	// only: popping one emits nothing and (being stamped off the link
+	// timeline, not the compute clock) never moves an observable stamp.
+	evPrefetchDone
+)
+
+// Session is the streaming run loop, driven by a discrete-event
+// timeline: submitted requests are scheduled as arrival events, each
+// Step pops the queue's minimum — an arrival firing into the admission
+// queue, a pending emission, or (implicitly, when nothing is runnable)
+// the next arrival the clock jumps to — so open-loop idle gaps are
+// skipped by construction rather than by scanning for the next arrival.
+// Admitted requests enter the active set up to the concurrency limit
+// and advance one engine iteration per Step — the request picked by the
+// configured request scheduler, running a prefill forward or a single
+// decode step — with a StepEvent emitted for each. The expert cache,
+// trace generator and device clocks carry state across requests, the
+// state a long-running server would have.
 type Session struct {
 	e             *Engine
-	pending       []*sessionRequest
 	active        []*sessionRequest
 	sched         reqsched.Scheduler
 	batch         reqsched.BatchPolicy
@@ -163,21 +194,34 @@ type Session struct {
 	maxConcurrent int
 	steps         int
 	nextSeq       int
+	nextSubmit    int
 	// batches counts merged engine iterations (solo steps included);
 	// StepEvent.Batch carries the ordinal.
 	batches int
-	// admEvents queues shed/deferral records for emission, one per Step
-	// call, ahead of compute steps.
-	admEvents []StepEvent
-	// batchEvents queues the remaining events of an already-executed
-	// merged iteration; Step drains them one per call before running
-	// more compute.
-	batchEvents []StepEvent
+	// events is the unified timeline: scheduled arrivals (stamped at
+	// the request's arrival), queued emissions (stamped at the clock
+	// when produced) and prefetch-completion markers, popped in
+	// (stamp, push order) order.
+	events sim.Queue[sessionEvent]
+	// arrived holds requests whose arrival event has fired, kept in
+	// submission order — the admission queue. Admission is order-
+	// preserving over submission order, not arrival order, so trace
+	// replays with interleaved stamps admit the way the trace was
+	// offered.
+	arrived []*sessionRequest
+	// future counts arrival events still scheduled on the timeline.
+	future int
 	// ttfts and tbts accumulate the live latency observations admission
 	// snapshots quantile over (sorted incrementally, queried per step).
 	ttfts, tbts report.Live
 	shed        int
 	deferred    int
+	// Reused scratch buffers: the allocation-lean Step path. view backs
+	// schedView's projection, busyPrev the per-step device-frontier
+	// snapshots, seen checkBatch's duplicate check; none escape a Step.
+	view              []reqsched.Request
+	gpuPrev, linkPrev []float64
+	seen              []bool
 }
 
 // NewSession starts a streaming run loop on the engine, with the
@@ -205,27 +249,31 @@ func (e *Engine) NewSession(opts ...SessionOption) *Session {
 	return s
 }
 
-// Submit enqueues requests. It may be called before the first Step or
-// at any point during the run (a live request stream). A request with
-// PromptTokens <= 0 skips prefill (a decode-only burst); one with
-// DecodeTokens <= 0 stops after prefill. A request with neither — no
-// work at all — is dropped immediately: it emits no event and never
-// counts toward Pending. Requests carrying an Arrival stamp are held
-// until the simulation clock reaches it (the open-loop server); the
-// clock advances across idle gaps when nothing earlier is runnable.
+// Submit schedules requests on the event timeline. It may be called
+// before the first Step or at any point during the run (a live request
+// stream). A request with PromptTokens <= 0 skips prefill (a
+// decode-only burst); one with DecodeTokens <= 0 stops after prefill. A
+// request with neither — no work at all — is dropped immediately: it
+// emits no event and never counts toward Pending. Each kept request
+// becomes an arrival event at its Arrival stamp (0 for closed-queue
+// requests, which fire on the first Step; stamps behind the clock fire
+// immediately, the live-stream case).
 func (s *Session) Submit(reqs ...workload.Request) {
 	for _, r := range reqs {
 		if r.PromptTokens <= 0 && r.DecodeTokens <= 0 {
 			continue
 		}
-		s.pending = append(s.pending, &sessionRequest{req: r})
+		sr := &sessionRequest{req: r, submitSeq: s.nextSubmit}
+		s.nextSubmit++
+		s.future++
+		s.events.Push(r.Arrival, sessionEvent{kind: evArrival, req: sr})
 	}
 }
 
 // Pending reports how many submitted requests have not yet finished —
 // requests still waiting on their arrival included, shed and zero-work
 // submissions (dropped at Submit) not.
-func (s *Session) Pending() int { return len(s.pending) + len(s.active) }
+func (s *Session) Pending() int { return s.future + len(s.arrived) + len(s.active) }
 
 // Steps reports how many step events the session has emitted,
 // shed/deferral records included.
@@ -253,75 +301,99 @@ func (s *Session) Batcher() string { return s.batch.Name() }
 func (s *Session) Batches() int { return s.batches }
 
 // snapshot assembles the live-quantile view an admission decision sees.
+// arrived is the real queue depth: arrivals still scheduled on the
+// timeline are invisible — counting them would leak arrivals the server
+// cannot know about yet.
 func (s *Session) snapshot() SLOSnapshot {
 	return SLOSnapshot{
 		Now:    s.e.clock,
 		TTFT:   s.ttfts.Stats(),
 		TBT:    s.tbts.Stats(),
 		Active: len(s.active),
-		Queued: s.arrivedPending(),
+		Queued: len(s.arrived),
 	}
 }
 
-// arrivedPending counts the pending requests whose arrival the clock
-// has reached — the real queue depth. Requests still in the future are
-// invisible to admission decisions: counting them would leak arrivals
-// the server cannot know about yet.
-func (s *Session) arrivedPending() int {
-	n := 0
-	for _, r := range s.pending {
-		if r.req.Arrival <= s.e.clock {
-			n++
+// arrive moves a fired arrival into the admission queue, keeping it
+// sorted by submission order (arrival events fire in stamp order, so
+// trace replays with interleaved stamps need the re-sort; in-order
+// streams append).
+func (s *Session) arrive(r *sessionRequest) {
+	s.future--
+	i := len(s.arrived)
+	for i > 0 && s.arrived[i-1].submitSeq > r.submitSeq {
+		i--
+	}
+	s.arrived = append(s.arrived, nil)
+	copy(s.arrived[i+1:], s.arrived[i:])
+	s.arrived[i] = r
+}
+
+// dropArrivedHead removes the admission queue's head in place, keeping
+// the backing storage.
+func (s *Session) dropArrivedHead() {
+	copy(s.arrived, s.arrived[1:])
+	s.arrived[len(s.arrived)-1] = nil
+	s.arrived = s.arrived[:len(s.arrived)-1]
+}
+
+// pushEmit queues a StepEvent for emission at the current clock.
+func (s *Session) pushEmit(ev StepEvent) {
+	s.events.Push(s.e.clock, sessionEvent{kind: evEmit, ev: ev})
+}
+
+// hasEmit reports whether an emission is queued. Emissions are stamped
+// at (a past value of) the clock and fired arrivals are drained through
+// it, so a queued emission is always the timeline's minimum — modulo
+// prefetch markers, which order between but emit nothing.
+func (s *Session) hasEmit() bool {
+	for {
+		_, e, ok := s.events.PeekMin()
+		if ok && e.kind == evPrefetchDone {
+			s.events.PopMin()
+			continue
+		}
+		return ok && e.kind == evEmit
+	}
+}
+
+// notePrefetchHorizon schedules a completion marker for transfers the
+// iteration just issued that are still in flight on a link past the
+// compute clock — the prefetch-completion event kind. It carries no
+// emission; it exists so the timeline is a complete account of the
+// simulated machine's future (arrivals, iteration completions,
+// transfer completions).
+func (s *Session) notePrefetchHorizon() {
+	var frontier float64
+	for _, busy := range s.e.linkBusy {
+		if busy > frontier {
+			frontier = busy
 		}
 	}
-	return n
-}
-
-// nextArrival reports the earliest pending arrival still in the
-// clock's future; ok is false when every pending request has already
-// arrived (or nothing is pending).
-func (s *Session) nextArrival() (at float64, ok bool) {
-	for _, r := range s.pending {
-		if r.req.Arrival > s.e.clock && (!ok || r.req.Arrival < at) {
-			at, ok = r.req.Arrival, true
-		}
+	if frontier > s.e.clock {
+		s.events.Push(frontier, sessionEvent{kind: evPrefetchDone})
 	}
-	return at, ok
 }
 
-// admit moves pending requests into the active set up to the
+// admit moves arrived requests into the active set up to the
 // concurrency limit, consulting the admission policy when one is
-// installed. Requests whose arrival is still in the clock's future are
-// held — skipped over without blocking already-arrived requests behind
-// them (trace replays may interleave arrival order). A deferred request
-// stays at the head of the arrived queue — admission is order-
-// preserving, so later arrivals wait behind it — unless nothing is
-// active, in which case it is admitted anyway: with no work in flight
-// the quantiles can never recover, and the loop must make progress.
+// installed. A deferred request stays at the head of the arrived queue
+// — admission is order-preserving, so later submissions wait behind it
+// — unless nothing is active, in which case it is admitted anyway: with
+// no work in flight the quantiles can never recover, and the loop must
+// make progress.
 func (s *Session) admit() {
 	// The latency quantiles and clock are invariant across one admission
-	// pass (no step runs in between); snapshot them once — the arrived
-	// count included, since every in-pass removal below takes an arrived
-	// request — and refresh only the queue depths per decision.
+	// pass (no step runs in between); snapshot them once and refresh
+	// only the queue depths per decision.
 	var snap SLOSnapshot
-	arrived := 0
-	if s.adm != nil && len(s.pending) > 0 {
+	if s.adm != nil && len(s.arrived) > 0 {
 		snap = s.snapshot()
-		arrived = snap.Queued
 	}
-	for i := 0; len(s.active) < s.maxConcurrent && i < len(s.pending); {
-		r := s.pending[i]
-		if r.req.Arrival > s.e.clock {
-			i++
-			continue
-		}
-		if r.done() {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			arrived--
-			continue
-		}
+	for len(s.active) < s.maxConcurrent && len(s.arrived) > 0 {
+		r := s.arrived[0]
 		if s.adm != nil {
-			snap.Active, snap.Queued = len(s.active), arrived
+			snap.Active, snap.Queued = len(s.active), len(s.arrived)
 			d := s.adm.Decide(r.req, snap)
 			if d == AdmissionDefer && len(s.active) == 0 {
 				// The verdict still counts; only the wait is skipped.
@@ -330,10 +402,9 @@ func (s *Session) admit() {
 			}
 			switch d {
 			case AdmissionShed:
-				s.pending = append(s.pending[:i], s.pending[i+1:]...)
-				arrived--
+				s.dropArrivedHead()
 				s.shed++
-				s.admEvents = append(s.admEvents, StepEvent{
+				s.pushEmit(StepEvent{
 					Request: r.req.ID, Phase: PhaseShed,
 					Start: s.e.clock, End: s.e.clock,
 					Deadline: r.req.Deadline, Arrival: r.req.Arrival,
@@ -344,7 +415,7 @@ func (s *Session) admit() {
 				s.deferred++
 				if !r.deferred {
 					r.deferred = true
-					s.admEvents = append(s.admEvents, StepEvent{
+					s.pushEmit(StepEvent{
 						Request: r.req.ID, Phase: PhaseDeferred,
 						Start: s.e.clock, End: s.e.clock,
 						Deadline: r.req.Deadline, Arrival: r.req.Arrival,
@@ -354,8 +425,7 @@ func (s *Session) admit() {
 				return
 			}
 		}
-		s.pending = append(s.pending[:i], s.pending[i+1:]...)
-		arrived--
+		s.dropArrivedHead()
 		r.seq = s.nextSeq
 		s.nextSeq++
 		s.active = append(s.active, r)
@@ -363,10 +433,12 @@ func (s *Session) admit() {
 }
 
 // schedView projects the active set into the request schedulers' view.
+// The slice is scratch reused across steps; schedulers and batch
+// formers must not retain it past the call.
 func (s *Session) schedView() []reqsched.Request {
-	view := make([]reqsched.Request, len(s.active))
-	for i, r := range s.active {
-		view[i] = reqsched.Request{
+	view := s.view[:0]
+	for _, r := range s.active {
+		view = append(view, reqsched.Request{
 			ID:              r.req.ID,
 			Seq:             r.seq,
 			Priority:        r.req.Priority,
@@ -374,47 +446,78 @@ func (s *Session) schedView() []reqsched.Request {
 			Prefilled:       r.prefilled,
 			PromptTokens:    r.req.PromptTokens,
 			RemainingDecode: r.req.DecodeTokens - r.decoded,
-		}
+		})
 	}
+	s.view = view
 	return view
 }
 
-// Step runs one admission pass and then one engine iteration for the
-// batch the batch former builds around the scheduler's pick, returning
-// the first of its events — or a queued shed/deferral record, or the
-// next event of an already-executed merged iteration, one per call,
-// ahead of new compute. When nothing is runnable yet but requests are
-// still due to arrive (the open-loop idle gap), the simulation clock
-// jumps to the next arrival instead of spinning. ok is false when
-// every submitted request has finished or been shed.
+// Step pops the event timeline: a queued emission is returned (one per
+// call, ahead of new compute); fired arrivals join the admission queue;
+// then one admission pass runs and one engine iteration executes for
+// the batch the batch former builds around the scheduler's pick. When
+// nothing is runnable but arrivals are still scheduled (the open-loop
+// idle gap), popping the next arrival IS the clock jump — the gap is
+// skipped by construction. ok is false when every submitted request has
+// finished or been shed.
 func (s *Session) Step() (ev StepEvent, ok bool) {
-	if len(s.batchEvents) > 0 {
-		ev = s.batchEvents[0]
-		s.batchEvents = s.batchEvents[1:]
-		s.steps++
-		return ev, true
+	// Drain the timeline up to the clock: emissions return (one per
+	// call), arrivals fire into the admission queue, prefetch markers
+	// are retired. Stamp order interleaves them correctly — an arrival
+	// during a drained batch's span fires before the batch's trailing
+	// emissions pop, and joining the admission queue early is
+	// unobservable until the admission pass below.
+	for {
+		at, e, popped := s.events.PeekMin()
+		if !popped {
+			break
+		}
+		if e.kind == evEmit {
+			s.events.PopMin()
+			s.steps++
+			return e.ev, true
+		}
+		if at > s.e.clock {
+			break
+		}
+		s.events.PopMin()
+		if e.kind == evArrival {
+			s.arrive(e.req)
+		}
 	}
 	s.admit()
 	// Open-loop idle gap: the active set is drained and no admission
-	// record is waiting, yet requests are still en route. Advance the
-	// clock to the earliest future arrival and re-admit; each round
-	// consumes at least one pending request (admit, shed or promoted
+	// record is waiting, yet arrivals are still scheduled. Pop the next
+	// one — the pop advances the clock to its stamp — fire any
+	// co-arrivals the new clock covers, and re-admit; each round
+	// consumes at least one scheduled request (admit, shed or promoted
 	// deferral), so the loop terminates.
-	for len(s.active) == 0 && len(s.admEvents) == 0 {
-		next, more := s.nextArrival()
-		if !more {
+	for len(s.active) == 0 && !s.hasEmit() {
+		at, e, popped := s.events.PopMin()
+		if !popped {
 			break
 		}
-		if next > s.e.clock {
-			s.e.clock = next
+		if e.kind != evArrival {
+			continue
+		}
+		if at > s.e.clock {
+			s.e.clock = at
+		}
+		s.arrive(e.req)
+		for {
+			at, e, peeked := s.events.PeekMin()
+			if !peeked || e.kind != evArrival || at > s.e.clock {
+				break
+			}
+			s.events.PopMin()
+			s.arrive(e.req)
 		}
 		s.admit()
 	}
-	if len(s.admEvents) > 0 {
-		ev = s.admEvents[0]
-		s.admEvents = s.admEvents[1:]
+	if s.hasEmit() {
+		_, e, _ := s.events.PopMin()
 		s.steps++
-		return ev, true
+		return e.ev, true
 	}
 	if len(s.active) == 0 {
 		return StepEvent{}, false
@@ -432,7 +535,9 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 		return s.stepSolo(idx), true
 	}
 	events := s.runBatch(batch, idx)
-	s.batchEvents = events[1:]
+	for _, bev := range events[1:] {
+		s.pushEmit(bev)
+	}
 	s.steps++
 	return events[0], true
 }
@@ -444,7 +549,13 @@ func (s *Session) checkBatch(batch []int, lead int) {
 	if len(batch) == 0 {
 		panic(fmt.Sprintf("engine: batch policy %q formed an empty batch", s.batch.Name()))
 	}
-	seen := make(map[int]bool, len(batch))
+	if cap(s.seen) < len(s.active) {
+		s.seen = make([]bool, len(s.active))
+	}
+	seen := s.seen[:len(s.active)]
+	for i := range seen {
+		seen[i] = false
+	}
 	hasLead := false
 	for _, i := range batch {
 		if i < 0 || i >= len(s.active) {
@@ -463,6 +574,14 @@ func (s *Session) checkBatch(batch []int, lead int) {
 	}
 }
 
+// snapBusy copies the engine's device-frontier vectors into the
+// session's reused scratch, the pre-step snapshot busyDeltas diffs.
+func (s *Session) snapBusy() (gpu0, link0 []float64) {
+	s.gpuPrev = append(s.gpuPrev[:0], s.e.gpuBusy...)
+	s.linkPrev = append(s.linkPrev[:0], s.e.linkBusy...)
+	return s.gpuPrev, s.linkPrev
+}
+
 // stepSolo runs one engine iteration for a single request — the
 // historical Session loop, which batch policy "none" (and any
 // single-member batch) reproduces event-for-event.
@@ -474,8 +593,7 @@ func (s *Session) stepSolo(idx int) StepEvent {
 	ev.Queued = s.queueWait(r, ev.Start)
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
 	cpu0 := s.e.cpuBusy
-	gpu0 := append([]float64(nil), s.e.gpuBusy...)
-	link0 := append([]float64(nil), s.e.linkBusy...)
+	gpu0, link0 := s.snapBusy()
 
 	if !r.prefilled && r.req.PromptTokens > 0 {
 		ev.Phase = PhasePrefill
@@ -515,6 +633,7 @@ func (s *Session) stepSolo(idx int) StepEvent {
 	ev.Done = r.done()
 	s.steps++
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
+	s.notePrefetchHorizon()
 
 	if ev.Done {
 		s.active = append(s.active[:idx], s.active[idx+1:]...)
@@ -591,8 +710,7 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 	start := s.e.clock
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
 	cpu0 := s.e.cpuBusy
-	gpu0 := append([]float64(nil), s.e.gpuBusy...)
-	link0 := append([]float64(nil), s.e.linkBusy...)
+	gpu0, link0 := s.snapBusy()
 
 	var acts []trace.LayerActivation
 	if allDecode {
@@ -615,6 +733,7 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 	link, _ := busyDeltas(s.e.linkBusy, link0)
 	end := s.e.clock
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
+	s.notePrefetchHorizon()
 
 	events := make([]StepEvent, len(batch))
 	cum := 0

@@ -139,13 +139,30 @@ func AblationCPUWarmup(p Params) *report.Table {
 // PlatformSweep runs the headline decode comparison on the laptop-class
 // platform, checking the result shape holds beyond the paper's testbed.
 func PlatformSweep(p Params) *report.Table {
-	t := report.NewTable("Platform sweep: decode TBT on laptop-class hardware (25% cache)",
-		"model", "KTrans(s)", "HybriMoE(s)", "speedup")
+	return runTable(platformStudy{}, p)
+}
+
+// platformStudy is PlatformSweep as a runner-iterated grid: one cell
+// per model, each running the kTransformers and HybriMoE decode pair.
+type platformStudy struct{}
+
+func (platformStudy) ID() string       { return "platform" }
+func (platformStudy) Describe() string { return "Laptop-class platform sweep" }
+
+func (platformStudy) Cells(p Params) []Cell {
 	platform := hw.LaptopPlatform()
+	var cells []Cell
 	for _, cfg := range moe.AllModels() {
-		kt := mustEngine(cfg, platform, engine.KTransformersFramework(), 0.25, p.Seed).RunDecode(p.DecodeSteps).Mean()
-		hy := mustEngine(cfg, platform, engine.HybriMoEFramework(), 0.25, p.Seed).RunDecode(p.DecodeSteps).Mean()
-		t.AddRow(cfg.Name, kt, hy, kt/hy)
+		cells = append(cells, Cell{Label: "platform/" + cfg.Name, Run: func() []Row {
+			kt := mustEngine(cfg, platform, engine.KTransformersFramework(), 0.25, p.Seed).RunDecode(p.DecodeSteps).Mean()
+			hy := mustEngine(cfg, platform, engine.HybriMoEFramework(), 0.25, p.Seed).RunDecode(p.DecodeSteps).Mean()
+			return []Row{{cfg.Name, kt, hy, kt / hy}}
+		}})
 	}
-	return t
+	return cells
+}
+
+func (platformStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Platform sweep: decode TBT on laptop-class hardware (25% cache)",
+		[]string{"model", "KTrans(s)", "HybriMoE(s)", "speedup"}, results)
 }

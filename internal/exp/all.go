@@ -17,9 +17,12 @@ type Experiment struct {
 	Run  func(Params) Renderable
 }
 
-// Registry lists every reproducible table/figure, in paper order.
+// Registry lists every reproducible table/figure, in paper order:
+// the figure/ablation drivers first, then every grid Study through the
+// studyExperiment adapter (so Lookup and RunAll treat both uniformly;
+// studies additionally run their cells on the parallel sweep runner).
 func Registry() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{"fig3a", "Activation frequency CDF (neurons vs experts)", func(p Params) Renderable { return Fig3a(p) }},
 		{"fig3b", "Expert reuse probability by score rank", func(p Params) Renderable { return Fig3b(p) }},
 		{"fig3c", "Prefill expert workload distribution", func(p Params) Renderable { return Fig3c(p) }},
@@ -34,27 +37,11 @@ func Registry() []Experiment {
 		{"abl-window", "Prefetch lookahead window ablation", func(p Params) Renderable { return AblationLookahead(p) }},
 		{"abl-prefetch", "Prefetch policy ablation", func(p Params) Renderable { return AblationPrefetchPolicy(p) }},
 		{"abl-warmup", "CPU warm-up modelling ablation", func(p Params) Renderable { return AblationCPUWarmup(p) }},
-		{"platform", "Laptop-class platform sweep", func(p Params) Renderable { return PlatformSweep(p) }},
-		{"serving", "End-to-end mixed-corpus serving study", func(p Params) Renderable {
-			return ServingStudy(p, 10, 0.25)
-		}},
-		{"serving-policy", "Request schedulers × SLO admission comparison", func(p Params) Renderable {
-			return ServingPolicyStudy(p, 10, 0.25)
-		}},
-		{"batching", "Continuous-batching policies × concurrency", func(p Params) Renderable {
-			return BatchingStudy(p, 12, 0.25)
-		}},
-		{"open-loop", "Open-loop Poisson arrivals × scheduler × batch former", func(p Params) Renderable {
-			return OpenLoopStudy(p, 10, 0.25)
-		}},
-		{"placement", "Multi-GPU placement: topology × scheduler × cache ratio", func(p Params) Renderable {
-			return PlacementStudy(p, 8)
-		}},
-		{"fleet", "Multi-replica fleet: routers × Poisson arrival rate", func(p Params) Renderable {
-			return FleetStudy(p, 16, []int{2, 4}, 0.25)
-		}},
-		{"precision", "INT4 vs INT8 offloading trade-off", func(p Params) Renderable { return PrecisionStudy(p) }},
 	}
+	for _, s := range Studies() {
+		exps = append(exps, studyExperiment(s))
+	}
+	return exps
 }
 
 // Lookup finds an experiment by ID.

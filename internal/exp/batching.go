@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"hybrimoe/internal/engine"
 	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
@@ -86,20 +88,42 @@ func driveBatch(p Params, ratio float64, reqs []workload.Request,
 // flat; the TBT percentiles show what each policy charges a single
 // token for the extra sharing.
 func BatchingStudy(p Params, requests int, ratio float64) *report.Table {
-	t := report.NewTable("Batching study: batch formers × concurrency (HybriMoE)",
-		"batch", "concurrent", "decode-tok/s", "p50-TBT(s)", "p95-TBT(s)",
-		"p95-TTFT(s)", "mean-batch", "sim-time(s)")
+	return runTable(batchingStudy{requests: requests, ratio: ratio}, p)
+}
 
+// batchingStudy is BatchingStudy as a runner-iterated grid: one cell
+// per batch former × concurrency point, all serving one shared stream.
+type batchingStudy struct {
+	requests int
+	ratio    float64
+}
+
+func (batchingStudy) ID() string       { return "batching" }
+func (batchingStudy) Describe() string { return "Continuous-batching policies × concurrency" }
+
+func (s batchingStudy) Cells(p Params) []Cell {
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
-	reqs := stream.NextN(requests)
+	reqs := stream.NextN(s.requests)
 	workload.CapDecode(reqs, p.DecodeSteps)
 
+	var cells []Cell
 	for _, policy := range []string{"none", "greedy", "phase-aware"} {
 		for _, concurrent := range []int{1, 4, 8} {
-			r := driveBatch(p, ratio, reqs, policy, BatchBudget, concurrent)
-			t.AddRow(policy, concurrent, r.decodeThroughput(),
-				r.tbt.P50, r.tbt.P95, r.ttft.P95, r.meanBatch(), r.clockEnd)
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("batching/%s/x%d", policy, concurrent),
+				Run: func() []Row {
+					r := driveBatch(p, s.ratio, reqs, policy, BatchBudget, concurrent)
+					return []Row{{policy, concurrent, r.decodeThroughput(),
+						r.tbt.P50, r.tbt.P95, r.ttft.P95, r.meanBatch(), r.clockEnd}}
+				},
+			})
 		}
 	}
-	return t
+	return cells
+}
+
+func (batchingStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Batching study: batch formers × concurrency (HybriMoE)",
+		[]string{"batch", "concurrent", "decode-tok/s", "p50-TBT(s)", "p95-TBT(s)",
+			"p95-TTFT(s)", "mean-batch", "sim-time(s)"}, results)
 }

@@ -25,6 +25,19 @@ type Params struct {
 	CDFIters int
 	// HitRateIters is the trace length for Figure 9.
 	HitRateIters int
+	// Workers bounds the sweep runner's cell-level parallelism; 0 (the
+	// zero value, so existing Params literals keep working) means
+	// DefaultWorkers. Results are worker-count independent — the knob
+	// trades wall-clock for CPU, never output.
+	Workers int
+}
+
+// workers resolves the effective sweep parallelism.
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return DefaultWorkers()
 }
 
 // DefaultParams returns the full-size experiment configuration.

@@ -139,26 +139,52 @@ func fleetRequests(p Params, requests int, rate float64) []workload.Request {
 // readiness signal has almost no choice to exploit and the routers
 // mostly coincide.
 func FleetStudy(p Params, requests int, replicaCounts []int, ratio float64) *report.Table {
-	t := report.NewTable("Fleet study: replicas × router × Poisson arrival rate (HybriMoE)",
-		"replicas", "router", "rate(req/s)", "completed", "shed-fraction",
-		"goodput(req/s)", "p95-TTFT(s)", "makespan(s)", "routed")
+	return runTable(fleetStudy{requests: requests, replicaCounts: replicaCounts, ratio: ratio}, p)
+}
 
+// fleetStudy is FleetStudy as a runner-iterated grid: the
+// single-replica calibration runs serially in Cells, then one cell per
+// replicas × rate × router point. Each (replicas, rate) pair draws its
+// request stream once, shared read-only across that pair's router
+// cells.
+type fleetStudy struct {
+	requests      int
+	replicaCounts []int
+	ratio         float64
+}
+
+func (fleetStudy) ID() string       { return "fleet" }
+func (fleetStudy) Describe() string { return "Multi-replica fleet: routers × Poisson arrival rate" }
+
+func (s fleetStudy) Cells(p Params) []Cell {
 	// Single-replica closed-loop calibration: capacity in completions
 	// per busy second, and the unqueued forward p95 for the SLO target.
-	base := driveFleet(p, ratio, 1, "round-robin", fleetRequests(p, requests, 0), nil)
+	base := driveFleet(p, s.ratio, 1, "round-robin", fleetRequests(p, s.requests, 0), nil)
 	perReplica := float64(base.completed) / base.clockEnd
 	adm := fleetGuard(base.ttftQ.P95)
 
-	for _, n := range replicaCounts {
+	var cells []Cell
+	for _, n := range s.replicaCounts {
 		for _, mult := range []float64{1.5, 4} {
 			rate := mult * perReplica * float64(n)
-			reqs := fleetRequests(p, requests, rate)
+			reqs := fleetRequests(p, s.requests, rate)
 			for _, routerName := range cluster.RouterNames() {
-				r := driveFleet(p, ratio, n, routerName, reqs, adm())
-				t.AddRow(n, routerName, rate, r.completed, r.shedFraction(),
-					r.goodput(), r.ttftQ.P95, r.clockEnd, fmt.Sprint(r.routed))
+				cells = append(cells, Cell{
+					Label: fmt.Sprintf("fleet/%dx/%s/%.3g", n, routerName, rate),
+					Run: func() []Row {
+						r := driveFleet(p, s.ratio, n, routerName, reqs, adm())
+						return []Row{{n, routerName, rate, r.completed, r.shedFraction(),
+							r.goodput(), r.ttftQ.P95, r.clockEnd, fmt.Sprint(r.routed)}}
+					},
+				})
 			}
 		}
 	}
-	return t
+	return cells
+}
+
+func (fleetStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Fleet study: replicas × router × Poisson arrival rate (HybriMoE)",
+		[]string{"replicas", "router", "rate(req/s)", "completed", "shed-fraction",
+			"goodput(req/s)", "p95-TTFT(s)", "makespan(s)", "routed"}, results)
 }

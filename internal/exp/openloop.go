@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"hybrimoe/internal/engine"
 	"hybrimoe/internal/hw"
 	"hybrimoe/internal/moe"
@@ -97,16 +99,31 @@ func driveOpenLoop(p Params, ratio float64, reqs []workload.Request,
 // wait — invisible to the pre-arrival, queue-blind TTFT — dominates the
 // p95 and drives the guard from admit to shed.
 func OpenLoopStudy(p Params, requests int, ratio float64) *report.Table {
-	t := report.NewTable("Open-loop study: Poisson arrival rate × scheduler × batch former (HybriMoE)",
-		"rate(req/s)", "reqsched", "batch", "completed", "shed-fraction",
-		"goodput(req/s)", "p95-TTFT(s)", "p95-prefill(s)", "p95-queue(s)")
+	return runTable(openLoopStudy{requests: requests, ratio: ratio}, p)
+}
 
+// openLoopStudy is OpenLoopStudy as a runner-iterated grid: the
+// closed-loop capacity calibration runs serially in Cells, then one
+// cell per rate × scheduler × batch-former point. Each cell draws its
+// own request stream (deterministic in the rate), so cells share no
+// mutable state.
+type openLoopStudy struct {
+	requests int
+	ratio    float64
+}
+
+func (openLoopStudy) ID() string { return "open-loop" }
+func (openLoopStudy) Describe() string {
+	return "Open-loop Poisson arrivals × scheduler × batch former"
+}
+
+func (s openLoopStudy) Cells(p Params) []Cell {
 	mkReqs := func(rate float64) []workload.Request {
 		stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
 		if rate > 0 {
 			stream.WithArrivals(workload.Poisson(rate))
 		}
-		reqs := stream.NextN(requests)
+		reqs := stream.NextN(s.requests)
 		workload.CapDecode(reqs, p.DecodeSteps)
 		return reqs
 	}
@@ -117,21 +134,33 @@ func OpenLoopStudy(p Params, requests int, ratio float64) *report.Table {
 	// forward p95 with a low sample floor — a deliberately strained SLO
 	// that only queueing can breach, so the shed fraction tracks the
 	// arrival rate rather than the workload content.
-	base := driveOpenLoop(p, ratio, mkReqs(0), "round-robin", "none", nil)
+	base := driveOpenLoop(p, s.ratio, mkReqs(0), "round-robin", "none", nil)
 	capacity := float64(base.completed) / base.clockEnd
 	adm := func() engine.AdmissionPolicy {
 		return &engine.SLOAdmission{TTFTp95: 1.25 * base.forward.P95, MinSamples: 2, ShedFactor: 1.5}
 	}
 
+	var cells []Cell
 	for _, mult := range []float64{0.5, 2, 8} {
 		rate := mult * capacity
 		for _, schedName := range []string{"round-robin", "sjf"} {
 			for _, batchName := range []string{"none", "greedy"} {
-				r := driveOpenLoop(p, ratio, mkReqs(rate), schedName, batchName, adm())
-				t.AddRow(rate, schedName, batchName, r.completed, r.shedFraction(),
-					r.goodput(), r.ttftQ.P95, r.forward.P95, r.queue.P95)
+				cells = append(cells, Cell{
+					Label: fmt.Sprintf("open-loop/%.3g/%s/%s", rate, schedName, batchName),
+					Run: func() []Row {
+						r := driveOpenLoop(p, s.ratio, mkReqs(rate), schedName, batchName, adm())
+						return []Row{{rate, schedName, batchName, r.completed, r.shedFraction(),
+							r.goodput(), r.ttftQ.P95, r.forward.P95, r.queue.P95}}
+					},
+				})
 			}
 		}
 	}
-	return t
+	return cells
+}
+
+func (openLoopStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Open-loop study: Poisson arrival rate × scheduler × batch former (HybriMoE)",
+		[]string{"rate(req/s)", "reqsched", "batch", "completed", "shed-fraction",
+			"goodput(req/s)", "p95-TTFT(s)", "p95-prefill(s)", "p95-queue(s)"}, results)
 }

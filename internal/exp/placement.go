@@ -87,21 +87,45 @@ var PlacementTopologies = []int{1, 2, 4}
 // per-device caches double (quadruple) total residency, and cached
 // experts execute on their owning GPUs in parallel.
 func PlacementStudy(p Params, requests int) *report.Table {
-	t := report.NewTable("Placement study: GPU topology × scheduler × cache ratio (HybriMoE stack)",
-		"gpus", "sched", "cache", "decode-tok/s", "p50-TBT(s)", "p95-TBT(s)", "hit-rate", "per-GPU-util")
+	return runTable(placementStudy{requests: requests}, p)
+}
 
+// placementStudy is PlacementStudy as a runner-iterated grid: one cell
+// per topology × scheduler × cache-ratio point, all serving one shared
+// stream.
+type placementStudy struct {
+	requests int
+}
+
+func (placementStudy) ID() string { return "placement" }
+func (placementStudy) Describe() string {
+	return "Multi-GPU placement: topology × scheduler × cache ratio"
+}
+
+func (s placementStudy) Cells(p Params) []Cell {
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
-	reqs := stream.NextN(requests)
+	reqs := stream.NextN(s.requests)
 	workload.CapDecode(reqs, p.DecodeSteps)
 
+	var cells []Cell
 	for _, gpus := range PlacementTopologies {
 		for _, schedName := range []string{"hybrimoe", "expert-parallel"} {
 			for _, ratio := range []float64{0.25, 0.50} {
-				r := drivePlacement(p, gpus, schedName, ratio, reqs)
-				t.AddRow(gpus, schedName, ratio, r.decodeThroughput(),
-					r.tbt.P50, r.tbt.P95, r.hitRate, r.utilisation())
+				cells = append(cells, Cell{
+					Label: fmt.Sprintf("placement/%dgpu/%s/%.2f", gpus, schedName, ratio),
+					Run: func() []Row {
+						r := drivePlacement(p, gpus, schedName, ratio, reqs)
+						return []Row{{gpus, schedName, ratio, r.decodeThroughput(),
+							r.tbt.P50, r.tbt.P95, r.hitRate, r.utilisation()}}
+					},
+				})
 			}
 		}
 	}
-	return t
+	return cells
+}
+
+func (placementStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Placement study: GPU topology × scheduler × cache ratio (HybriMoE stack)",
+		[]string{"gpus", "sched", "cache", "decode-tok/s", "p50-TBT(s)", "p95-TBT(s)", "hit-rate", "per-GPU-util"}, results)
 }

@@ -17,9 +17,18 @@ import (
 // link time but roughly 16× lower reconstruction error — the knob a
 // mixed-precision loader trades per expert importance.
 func PrecisionStudy(p Params) *report.Table {
-	t := report.NewTable("Extension: INT4 vs INT8 expert offloading trade-off",
-		"model", "int4-bytes(MB)", "int8-bytes(MB)", "int4-xfer(ms)", "int8-xfer(ms)",
-		"int4-relL2", "int8-relL2")
+	return runTable(precisionStudy{}, p)
+}
+
+// precisionStudy is PrecisionStudy as a runner-iterated grid: the
+// kernel-fidelity probe runs serially in Cells, then one cell per
+// model computes its footprint/transfer row.
+type precisionStudy struct{}
+
+func (precisionStudy) ID() string       { return "precision" }
+func (precisionStudy) Describe() string { return "INT4 vs INT8 offloading trade-off" }
+
+func (precisionStudy) Cells(p Params) []Cell {
 	link := hw.A6000Platform().Links[0]
 
 	// Measured fidelity on a probe expert (scaled, real kernels).
@@ -35,15 +44,24 @@ func PrecisionStudy(p Params) *report.Table {
 	f4 := quant.MeasureFidelity(probe, q4.MatVec, x)
 	f8 := quant.MeasureFidelity(probe, q8.MatVec, x)
 
+	var cells []Cell
 	for _, cfg := range moe.AllModels() {
-		int4 := cfg.ExpertBytes()
-		int8 := expertBytes8(cfg)
-		t.AddRow(cfg.Name,
-			float64(int4)/(1<<20), float64(int8)/(1<<20),
-			1e3*link.TransferTime(int4), 1e3*link.TransferTime(int8),
-			f4.RelL2Error, f8.RelL2Error)
+		cells = append(cells, Cell{Label: "precision/" + cfg.Name, Run: func() []Row {
+			int4 := cfg.ExpertBytes()
+			int8 := expertBytes8(cfg)
+			return []Row{{cfg.Name,
+				float64(int4) / (1 << 20), float64(int8) / (1 << 20),
+				1e3 * link.TransferTime(int4), 1e3 * link.TransferTime(int8),
+				f4.RelL2Error, f8.RelL2Error}}
+		}})
 	}
-	return t
+	return cells
+}
+
+func (precisionStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Extension: INT4 vs INT8 expert offloading trade-off",
+		[]string{"model", "int4-bytes(MB)", "int8-bytes(MB)", "int4-xfer(ms)", "int8-xfer(ms)",
+			"int4-relL2", "int8-relL2"}, results)
 }
 
 func expertBytes8(cfg *moe.Config) int64 {

@@ -20,42 +20,64 @@ import (
 // (HybriMoE best on both; the prefill gap driven by scheduling, the
 // decode gap by caching and balancing).
 func ServingStudy(p Params, requests int, ratio float64) *report.Table {
-	t := report.NewTable("Serving study: mixed corpus stream, end-to-end",
-		"framework", "mean-TTFT(s)", "p50-TTFT(s)", "p95-TTFT(s)", "p99-TTFT(s)",
-		"p50-TBT(s)", "p95-TBT(s)", "p99-TBT(s)", "hit-rate")
+	return runTable(servingStudy{requests: requests, ratio: ratio}, p)
+}
+
+// servingStudy is ServingStudy as a runner-iterated grid: one cell per
+// framework, all serving one shared request sequence.
+type servingStudy struct {
+	requests int
+	ratio    float64
+}
+
+func (servingStudy) ID() string       { return "serving" }
+func (servingStudy) Describe() string { return "End-to-end mixed-corpus serving study" }
+
+func (s servingStudy) Cells(p Params) []Cell {
 	platform := hw.A6000Platform()
 	cfg := moe.DeepSeek()
 
-	// One shared request sequence for every framework.
+	// One shared request sequence for every framework (read-only across
+	// cells; Session.Submit copies by value).
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
-	reqs := stream.NextN(requests)
+	reqs := stream.NextN(s.requests)
 	workload.CapDecode(reqs, p.DecodeSteps)
 
+	var cells []Cell
 	for _, fw := range engine.AllFrameworks() {
-		e, err := engine.New(cfg, platform, fw,
-			engine.WithCacheRatio(ratio), engine.WithSeed(p.Seed))
-		if err != nil {
-			panic(err)
-		}
-		// Two requests in flight so prefill and decode genuinely
-		// interleave, the way a continuously-batched server mixes phases.
-		s := e.NewSession(engine.WithMaxConcurrent(2))
-		s.Submit(reqs...)
-		var ttfts, tbts []float64
-		s.Run(func(ev engine.StepEvent) {
-			switch ev.Phase {
-			case engine.PhasePrefill:
-				ttfts = append(ttfts, ev.Latency)
-			case engine.PhaseDecode:
-				tbts = append(tbts, ev.Latency)
+		cells = append(cells, Cell{Label: "serving/" + fw.Name, Run: func() []Row {
+			e, err := engine.New(cfg, platform, fw,
+				engine.WithCacheRatio(s.ratio), engine.WithSeed(p.Seed))
+			if err != nil {
+				panic(err)
 			}
-		})
-		ttft := report.Latencies(ttfts)
-		tbt := report.Latencies(tbts)
-		t.AddRow(fw.Name, ttft.Mean, ttft.P50, ttft.P95, ttft.P99,
-			tbt.P50, tbt.P95, tbt.P99, e.Caches().HitRate())
+			// Two requests in flight so prefill and decode genuinely
+			// interleave, the way a continuously-batched server mixes
+			// phases.
+			ses := e.NewSession(engine.WithMaxConcurrent(2))
+			ses.Submit(reqs...)
+			var ttfts, tbts []float64
+			ses.Run(func(ev engine.StepEvent) {
+				switch ev.Phase {
+				case engine.PhasePrefill:
+					ttfts = append(ttfts, ev.Latency)
+				case engine.PhaseDecode:
+					tbts = append(tbts, ev.Latency)
+				}
+			})
+			ttft := report.Latencies(ttfts)
+			tbt := report.Latencies(tbts)
+			return []Row{{fw.Name, ttft.Mean, ttft.P50, ttft.P95, ttft.P99,
+				tbt.P50, tbt.P95, tbt.P99, e.Caches().HitRate()}}
+		}})
 	}
-	return t
+	return cells
+}
+
+func (servingStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Serving study: mixed corpus stream, end-to-end",
+		[]string{"framework", "mean-TTFT(s)", "p50-TTFT(s)", "p95-TTFT(s)", "p99-TTFT(s)",
+			"p50-TBT(s)", "p95-TBT(s)", "p99-TBT(s)", "hit-rate"}, results)
 }
 
 // classStats aggregates one SLO class's outcomes within a run.
@@ -165,13 +187,25 @@ func drivePolicy(p Params, ratio float64, reqs []workload.Request,
 // per-class violation and shed rates, and the p95 TTFT/TBT the served
 // requests saw.
 func ServingPolicyStudy(p Params, requests int, ratio float64) *report.Table {
-	t := report.NewTable("Serving policy study: request schedulers × admission (HybriMoE)",
-		"reqsched", "admission", "completed", "shed",
-		"goodput(req/s)", "violation-rate", "shed-fraction",
-		"viol[inter/batch]", "shed[inter/batch]", "p95-TTFT(s)", "p95-TBT(s)")
+	return runTable(servingPolicyStudy{requests: requests, ratio: ratio}, p)
+}
 
+// servingPolicyStudy is ServingPolicyStudy as a runner-iterated grid:
+// the baseline calibration (deadline stamping, admission targets) runs
+// serially in Cells, then one cell per scheduler × admission point.
+type servingPolicyStudy struct {
+	requests int
+	ratio    float64
+}
+
+func (servingPolicyStudy) ID() string { return "serving-policy" }
+func (servingPolicyStudy) Describe() string {
+	return "Request schedulers × SLO admission comparison"
+}
+
+func (s servingPolicyStudy) Cells(p Params) []Cell {
 	stream := workload.NewStream(p.Seed, workload.AllDatasets()...)
-	reqs := stream.NextN(requests)
+	reqs := stream.NextN(s.requests)
 	workload.CapDecode(reqs, p.DecodeSteps)
 	offered := map[string]int{}
 	for i := range reqs {
@@ -194,7 +228,7 @@ func ServingPolicyStudy(p Params, requests int, ratio float64) *report.Table {
 	// speed, decides who meets it. The admission guard targets the
 	// baseline's p50 TTFT as its p95 budget with a low shed factor, a
 	// deliberately strained SLO that forces shed/defer verdicts.
-	base := drivePolicy(p, ratio, reqs, "round-robin", nil)
+	base := drivePolicy(p, s.ratio, reqs, "round-robin", nil)
 	for i := range reqs {
 		slack := 0.9
 		if i%2 == 1 {
@@ -211,39 +245,49 @@ func ServingPolicyStudy(p Params, requests int, ratio float64) *report.Table {
 		}
 	}
 
+	var cells []Cell
 	for _, schedName := range []string{"fcfs", "round-robin", "sjf", "edf"} {
 		for _, withAdm := range []bool{false, true} {
-			policy := engine.AdmissionPolicy(nil)
-			admName := "none"
-			if withAdm {
-				policy = adm()
-				admName = policy.Name()
-			}
-			r := drivePolicy(p, ratio, reqs, schedName, policy)
-			goodput, violRate := 0.0, 0.0
-			if r.clockEnd > 0 {
-				goodput = float64(r.onTime) / r.clockEnd
-			}
-			if r.completed > 0 {
-				violRate = float64(r.violated) / float64(r.completed)
-			}
-			shedRate := func(c string) float64 {
-				if offered[c] == 0 {
-					return 0
+			cells = append(cells, Cell{Label: "serving-policy/" + schedName, Run: func() []Row {
+				policy := engine.AdmissionPolicy(nil)
+				admName := "none"
+				if withAdm {
+					policy = adm()
+					admName = policy.Name()
 				}
-				s := r.byClass[c]
-				if s == nil {
-					return 0
+				r := drivePolicy(p, s.ratio, reqs, schedName, policy)
+				goodput, violRate := 0.0, 0.0
+				if r.clockEnd > 0 {
+					goodput = float64(r.onTime) / r.clockEnd
 				}
-				return float64(s.shed) / float64(offered[c])
-			}
-			t.AddRow(schedName, admName, r.completed, r.shed,
-				goodput, violRate, float64(r.shed)/float64(len(reqs)),
-				fmt.Sprintf("%.2f/%.2f",
-					r.classViolationRate("interactive"), r.classViolationRate("batch")),
-				fmt.Sprintf("%.2f/%.2f", shedRate("interactive"), shedRate("batch")),
-				r.ttft.P95, r.tbt.P95)
+				if r.completed > 0 {
+					violRate = float64(r.violated) / float64(r.completed)
+				}
+				shedRate := func(c string) float64 {
+					if offered[c] == 0 {
+						return 0
+					}
+					cs := r.byClass[c]
+					if cs == nil {
+						return 0
+					}
+					return float64(cs.shed) / float64(offered[c])
+				}
+				return []Row{{schedName, admName, r.completed, r.shed,
+					goodput, violRate, float64(r.shed) / float64(len(reqs)),
+					fmt.Sprintf("%.2f/%.2f",
+						r.classViolationRate("interactive"), r.classViolationRate("batch")),
+					fmt.Sprintf("%.2f/%.2f", shedRate("interactive"), shedRate("batch")),
+					r.ttft.P95, r.tbt.P95}}
+			}})
 		}
 	}
-	return t
+	return cells
+}
+
+func (servingPolicyStudy) Render(_ Params, results [][]Row) Renderable {
+	return tableFromCells("Serving policy study: request schedulers × admission (HybriMoE)",
+		[]string{"reqsched", "admission", "completed", "shed",
+			"goodput(req/s)", "violation-rate", "shed-fraction",
+			"viol[inter/batch]", "shed[inter/batch]", "p95-TTFT(s)", "p95-TBT(s)"}, results)
 }

@@ -8,45 +8,16 @@
 // order.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a callback scheduled at a virtual time.
-type Event struct {
-	At  float64
-	Fn  func()
-	seq int64 // tie-break: FIFO among equal timestamps
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Engine owns the virtual clock and event queue. The zero value is
-// usable; NewEngine is provided for symmetry.
+// Engine owns the virtual clock and an event queue of callbacks. It is
+// a thin causality layer over Queue: Schedule refuses stamps in the
+// clock's past, and Step advances the clock to each event it fires. The
+// zero value is usable; NewEngine is provided for symmetry.
 type Engine struct {
-	now    float64
-	queue  eventHeap
-	nextSq int64
-	ran    int64
+	now   float64
+	queue Queue[func()]
+	ran   int64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -64,9 +35,7 @@ func (e *Engine) Schedule(at float64, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.nextSq}
-	e.nextSq++
-	heap.Push(&e.queue, ev)
+	e.queue.Push(at, fn)
 }
 
 // ScheduleAfter enqueues fn to run delay seconds from now.
@@ -80,13 +49,13 @@ func (e *Engine) ScheduleAfter(delay float64, fn func()) {
 // Step fires the next event, advancing the clock to it, and reports
 // whether an event ran.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	at, fn, ok := e.queue.PopMin()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.At
+	e.now = at
 	e.ran++
-	ev.Fn()
+	fn()
 	return true
 }
 
@@ -101,7 +70,11 @@ func (e *Engine) Run() float64 {
 // RunUntil fires events with timestamps <= deadline, leaves later events
 // queued, and advances the clock to min(deadline, last event time).
 func (e *Engine) RunUntil(deadline float64) float64 {
-	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+	for {
+		at, _, ok := e.queue.PeekMin()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -111,4 +84,4 @@ func (e *Engine) RunUntil(deadline float64) float64 {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.Len() }
