@@ -487,6 +487,49 @@ func BenchmarkFleetAffinityRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetChurn times the lifecycle-heavy fleet path the churn
+// study sweeps: a 3-replica fleet absorbing a mid-run stall (lease
+// expiry, queue reclaim and re-route) plus a cold standby scale-up, so
+// failure detection, session reclaim and warming promotion all sit on
+// the gated path. The custom metric is goodput net of the lost
+// in-flight work — a regression in recovery shows up even when the
+// wall time holds.
+func BenchmarkFleetChurn(b *testing.B) {
+	reqs := workload.NewStream(benchFleetSeed, workload.AllDatasets()...).
+		WithArrivals(workload.Poisson(16)).
+		NextN(16)
+	workload.CapDecode(reqs, 6)
+	var completed int
+	var clockEnd float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := exp.NewFleet(3, "affinity", benchFleetSeed, 0.25,
+			cluster.WithFailure(1, 0.2, cluster.FailStall),
+			cluster.WithScalePlan(cluster.ScaleEvent{At: 0.2, Delta: 1}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Submit(reqs...)
+		b.StartTimer()
+		completed, clockEnd = 0, 0
+		c.Run(func(ev cluster.Event) {
+			if ev.Kind != cluster.EventStep {
+				return
+			}
+			if ev.End > clockEnd {
+				clockEnd = ev.End
+			}
+			if ev.Done {
+				completed++
+			}
+		})
+	}
+	if clockEnd > 0 {
+		b.ReportMetric(float64(completed)/clockEnd, "sim-req/s")
+	}
+}
+
 // --- Event-core scale -------------------------------------------------
 
 // BenchmarkMillionRequests drives the raw discrete-event core through an

@@ -154,6 +154,8 @@ func run(args []string) error {
 		traceOut := fs.String("trace-out", "", "record the offered request sequence (deadlines stamped, before admission) as a JSONL trace")
 		replicas := fs.Int("replicas", 1, "independent replica stacks served as a fleet (>1 routes through -router)")
 		router := fs.String("router", "affinity", "fleet request router: "+strings.Join(cluster.RouterNames(), ", "))
+		fail := fs.String("fail", "", "injected replica failures, e.g. 1@0.3:stall or 0@0.5:death (comma-separated)")
+		scalePlan := fs.String("scale-plan", "", "scheduled fleet resizes, e.g. +1@0.5,-1@1.2 (comma-separated)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -167,7 +169,7 @@ func run(args []string) error {
 			reqSched: *reqSched, batch: *batch, batchBudget: *batchBudget,
 			sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
 			arrivals: *arrivals, rate: *rate, traceIn: *traceIn, traceOut: *traceOut,
-			replicas: *replicas, router: *router,
+			replicas: *replicas, router: *router, fail: *fail, scalePlan: *scalePlan,
 		}
 		return serve(sc)
 
@@ -196,6 +198,7 @@ type serveConfig struct {
 	traceIn, traceOut    string
 	replicas             int
 	router               string
+	fail, scalePlan      string
 }
 
 // serveRequests assembles the request sequence for one serve run:
@@ -276,7 +279,9 @@ func serve(sc serveConfig) error {
 			return err
 		}
 	}
-	if sc.replicas > 1 {
+	if sc.replicas > 1 || sc.fail != "" || sc.scalePlan != "" {
+		// Lifecycle knobs only exist at fleet scope; a 1-replica fleet
+		// with churn is still a fleet.
 		return serveFleet(sc, reqs)
 	}
 	opts := []engine.Option{
@@ -383,7 +388,11 @@ func serve(sc serveConfig) error {
 // targets move admission to the fleet door — requests are shed against
 // fleet-aggregate quantiles before any replica queues them.
 func serveFleet(sc serveConfig, reqs []workload.Request) error {
-	router, err := cluster.NewRouter(sc.router, sc.replicas, sc.seed)
+	failures, err := cluster.ParseFailures(sc.fail)
+	if err != nil {
+		return err
+	}
+	scale, err := cluster.ParseScalePlan(sc.scalePlan)
 	if err != nil {
 		return err
 	}
@@ -392,18 +401,37 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 		fw.Sched = sc.sched
 	}
 	build := func(i int) (*engine.Engine, error) {
-		return engine.New(sc.cfg, hw.MultiA6000Platform(sc.gpus), fw,
+		eopts := []engine.Option{
 			engine.WithCacheRatio(sc.ratio),
 			engine.WithSeed(cluster.ReplicaSeed(sc.seed, i)),
 			engine.WithRequestScheduler(sc.reqSched),
-			engine.WithBatchPolicy(sc.batch, sc.batchBudget))
+			engine.WithBatchPolicy(sc.batch, sc.batchBudget),
+		}
+		if i >= sc.replicas {
+			// Scale-up replicas join with cold caches: elasticity pays
+			// the re-warm cost instead of pretending warmth.
+			eopts = append(eopts, engine.WithWarmupIters(0))
+		}
+		return engine.New(sc.cfg, hw.MultiA6000Platform(sc.gpus), fw, eopts...)
 	}
-	opts := []cluster.Option{cluster.WithMaxConcurrent(sc.concurrent)}
+	opts := []cluster.Option{
+		cluster.WithReplicas(sc.replicas),
+		cluster.WithRouter(sc.router),
+		cluster.WithBuilder(build),
+		cluster.WithSeed(sc.seed),
+		cluster.WithMaxConcurrent(sc.concurrent),
+	}
 	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
 	if admitting {
 		opts = append(opts, cluster.WithAdmission(engine.NewSLOAdmission(sc.sloTTFT, sc.sloTBT)))
 	}
-	c, err := cluster.New(sc.replicas, router, build, opts...)
+	for _, f := range failures {
+		opts = append(opts, cluster.WithFailure(f.Replica, f.At, f.Kind))
+	}
+	if len(scale) > 0 {
+		opts = append(opts, cluster.WithScalePlan(scale...))
+	}
+	c, err := cluster.New(opts...)
 	if err != nil {
 		return err
 	}
@@ -425,11 +453,36 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 	if admitting {
 		fmt.Printf(", fleet SLO p95 TTFT %.3gs / TBT %.3gs", sc.sloTTFT, sc.sloTBT)
 	}
+	if sc.fail != "" {
+		fmt.Printf(", failures %s", sc.fail)
+	}
+	if sc.scalePlan != "" {
+		fmt.Printf(", scale plan %s", sc.scalePlan)
+	}
 	fmt.Print(")\n\n")
 
 	var ttfts, tbts []float64
 	violations := 0
 	c.Run(func(ev cluster.Event) {
+		switch ev.Kind {
+		case cluster.EventReplicaWarming:
+			fmt.Printf("  t=%7.3fs r%d JOINED cold, warming\n", ev.End, ev.Replica)
+			return
+		case cluster.EventReplicaDraining:
+			fmt.Printf("  t=%7.3fs r%d DRAINING, no new dispatches\n", ev.End, ev.Replica)
+			return
+		case cluster.EventReplicaDead:
+			if ev.Tokens > 0 {
+				fmt.Printf("  t=%7.3fs r%d DEAD, %d in-flight requests lost\n", ev.End, ev.Replica, ev.Tokens)
+			} else {
+				fmt.Printf("  t=%7.3fs r%d DEAD\n", ev.End, ev.Replica)
+			}
+			return
+		case cluster.EventRerouted:
+			fmt.Printf("  t=%7.3fs    req %2d RE-ROUTED off dead r%d (arrived %.3fs)\n",
+				ev.End, ev.Request, ev.Replica, ev.Arrival)
+			return
+		}
 		switch ev.Phase {
 		case engine.PhasePrefill:
 			ttfts = append(ttfts, ev.Queued+ev.Latency)
@@ -464,9 +517,13 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 	})
 
 	fmt.Printf("\nsteps: %d   routed per replica: %v\n", c.Steps(), c.Routed())
-	for i := 0; i < sc.replicas; i++ {
-		fmt.Printf("  replica %d: clock %.3fs, cache hit rate %.1f%%\n",
-			i, c.Engine(i).Clock(), 100*c.Engine(i).Caches().HitRate())
+	for i := 0; i < c.Replicas(); i++ {
+		fmt.Printf("  replica %d: %-8s clock %.3fs, cache hit rate %.1f%%\n",
+			i, c.State(i), c.Engine(i).Clock(), 100*c.Engine(i).Caches().HitRate())
+	}
+	if c.Rerouted() > 0 || c.Lost() > 0 {
+		fmt.Printf("churn: %d requests re-routed off dead replicas, %d in-flight lost\n",
+			c.Rerouted(), c.Lost())
 	}
 	if admitting || sc.deadline > 0 {
 		fmt.Printf("admission: %d shed, %d deferral verdicts   deadline violations: %d\n",

@@ -7,9 +7,12 @@
 // which sends each request to the lightest replica that will be ready
 // for it soonest, discounting availability by predicted-expert
 // residency. A fleet-level SLO guard sheds against fleet-aggregate
-// quantiles before any replica queues the request. The closing table is
-// the fleet study: routers × arrival rate at equal hardware, where
-// affinity meets or beats round-robin on goodput at fleet scale.
+// quantiles before any replica queues the request. A churn pass then
+// stalls one replica mid-run (its queued requests re-route once the
+// lease expires) while a cold scale-up replica joins and re-warms. The
+// closing table is the fleet study: routers × arrival rate at equal
+// hardware, where affinity meets or beats round-robin on goodput at
+// fleet scale.
 //
 // Run with: go run ./examples/fleet
 package main
@@ -50,6 +53,9 @@ func main() {
 		var ttfts, tbts []float64
 		makespan := 0.0
 		c.Run(func(ev cluster.Event) {
+			if ev.Kind != cluster.EventStep {
+				return
+			}
 			if ev.End > makespan {
 				makespan = ev.End
 			}
@@ -78,6 +84,9 @@ func main() {
 	c.Submit(reqs...)
 	fmt.Println("\naffinity fleet with SLO admission (p95 TTFT 0.45s) at the fleet door:")
 	c.Run(func(ev cluster.Event) {
+		if ev.Kind != cluster.EventStep {
+			return
+		}
 		switch ev.Phase {
 		case engine.PhasePrefill:
 			fmt.Printf("  t=%6.3fs r%d req %2d prefill %4d tokens, queued %.4fs, TTFT %.4fs\n",
@@ -92,6 +101,46 @@ func main() {
 		fmt.Printf("  replica %d: clock %.3fs, cache hit rate %.1f%%\n",
 			i, c.Engine(i).Clock(), 100*c.Engine(i).Caches().HitRate())
 	}
+
+	// Fleet churn: replica 1 stalls silently mid-run — the fleet keeps
+	// routing to it until its lease expires and the doctor declares it
+	// dead, at which point its queued requests re-enter the dispatch
+	// queue with their original arrivals (the dead-box wait lands in
+	// queue-inclusive TTFT) — while a cold replacement replica joins on
+	// a scale plan and pays its re-warm window before serving.
+	fmt.Println("\nfleet churn: r1 stalls at t=0.15s, a cold replica joins at t=0.3s:")
+	churn, err := exp.NewFleet(replicas, "affinity", seed, 0.25,
+		cluster.WithFailure(1, 0.15, cluster.FailStall),
+		cluster.WithScalePlan(cluster.ScaleEvent{At: 0.3, Delta: +1}),
+		cluster.WithRouteLog(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	churn.Submit(reqs...)
+	churn.Run(func(ev cluster.Event) {
+		switch ev.Kind {
+		case cluster.EventReplicaWarming:
+			fmt.Printf("  t=%6.3fs r%d joined cold, warming\n", ev.End, ev.Replica)
+		case cluster.EventReplicaDead:
+			fmt.Printf("  t=%6.3fs r%d declared dead (%d in-flight lost)\n", ev.End, ev.Replica, ev.Tokens)
+		case cluster.EventRerouted:
+			fmt.Printf("  t=%6.3fs req %2d re-routed off r%d (arrived %.3fs)\n",
+				ev.End, ev.Request, ev.Replica, ev.Arrival)
+		}
+	})
+	fmt.Printf("re-routed %d, lost %d; replica states:", churn.Rerouted(), churn.Lost())
+	for i := 0; i < churn.Replicas(); i++ {
+		fmt.Printf(" r%d=%s", i, churn.State(i))
+	}
+	fmt.Println()
+	redispatched := 0
+	for _, rec := range churn.RouteLog() {
+		if rec.Rerouted {
+			redispatched++
+		}
+	}
+	fmt.Printf("route log (opt-in, last 64): %d records, %d re-dispatches\n",
+		len(churn.RouteLog()), redispatched)
 
 	// The full sweep: fleet size × router × arrival rate, calibrated
 	// from a single-replica closed-loop run — the registered "fleet"

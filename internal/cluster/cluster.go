@@ -6,15 +6,26 @@
 // recurs one level up: steering a request toward the replica whose cache
 // shards already hold its predicted experts (the affinity router) buys
 // the same transfer avoidance that intra-box placement does.
+//
+// Replicas carry a lifecycle (Warming → Serving → Draining → Dead)
+// driven on the same timeline: failures can be injected
+// deterministically (WithFailure — a silent clock stall detected by
+// lease expiry, or an immediately visible hard death), the fleet can be
+// scaled mid-run (WithScalePlan — new replicas join cold and pay a
+// re-warm window before serving), and a dead replica's undelivered
+// queue re-enters the dispatch queue with original arrival stamps, so
+// re-routing shows up honestly in queue-inclusive TTFT.
 package cluster
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"hybrimoe/internal/engine"
 	"hybrimoe/internal/report"
 	"hybrimoe/internal/sim"
+	"hybrimoe/internal/stats"
 	"hybrimoe/internal/workload"
 )
 
@@ -27,6 +38,12 @@ const FleetReplica = -1
 // trace and workload streams from one base seed.
 const replicaSeedStride = 0x9E3779B97F4A7C15
 
+// failureSeedSalt decorrelates the failure-detection RNG stream from
+// every replica and router stream derived from the same base seed. The
+// stream is only instantiated when failures are configured, so unfailed
+// runs draw nothing and stay byte-identical.
+const failureSeedSalt = 0x5d4e_f2a7_c3b1_8e69
+
 // ReplicaSeed derives replica i's RNG seed from a fleet base seed —
 // the convention every fleet consumer (experiments, CLI, benchmarks)
 // shares so equal-seed runs stay byte-stable across entry points.
@@ -35,13 +52,18 @@ func ReplicaSeed(base uint64, i int) uint64 {
 }
 
 // Event is one fleet step: a replica's StepEvent tagged with the replica
-// index that produced it, or a fleet-level admission record tagged
-// FleetReplica. The embedded StepEvent keeps existing reporting working
-// unchanged on per-replica slices of the stream.
+// index that produced it, a fleet-level admission record tagged
+// FleetReplica, or a lifecycle record (Kind != EventStep). The embedded
+// StepEvent keeps existing reporting working unchanged on per-replica
+// slices of the stream.
 type Event struct {
 	// Replica indexes the replica that emitted the event, or is
 	// FleetReplica for cluster-level admission records.
 	Replica int
+	// Kind discriminates lifecycle records from compute steps; the zero
+	// value (EventStep) is omitted from JSON so step records keep the
+	// engine schema plus the Replica tag.
+	Kind EventKind `json:",omitempty"`
 	engine.StepEvent
 }
 
@@ -49,19 +71,121 @@ type Event struct {
 type fleetRequest struct {
 	req      workload.Request
 	deferred bool // a fleet-level PhaseDeferred event has been emitted
+	rerouted bool // reclaimed from a dead replica, back for re-dispatch
 }
 
-// Option configures a Cluster.
-type Option func(*Cluster)
+// RouteRecord is one dispatch decision, retained when WithRouteLog is
+// configured: which request went to which replica at what fleet time,
+// and whether it was a re-route off a dead replica.
+type RouteRecord struct {
+	Request  int
+	Replica  int
+	At       float64
+	Rerouted bool
+}
+
+// config collects cluster construction state; Options validate eagerly
+// and New validates the combination.
+type config struct {
+	replicas      int
+	routerName    string
+	router        Router
+	build         func(i int) (*engine.Engine, error)
+	seed          uint64
+	maxConcurrent int
+	adm           engine.AdmissionPolicy
+	leaseTTL      float64
+	warmup        float64
+	failures      []Failure
+	scale         []ScaleEvent
+	routeLog      int
+}
+
+// Option configures a Cluster. Options validate eagerly — a bad value
+// surfaces as an error from New, never as a mid-run surprise.
+type Option func(*config) error
+
+// WithReplicas sets the initial fleet size (default 1). n < 1 errors.
+func WithReplicas(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithReplicas(%d) must be at least 1", n)
+		}
+		c.replicas = n
+		return nil
+	}
+}
+
+// WithRouter selects the dispatch policy by registry name (default
+// "round-robin"); the router is built at New time from the final
+// RouterConfig, so it sees the fleet size, seed and lease TTL the run
+// actually uses. Unknown names error from New.
+func WithRouter(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			return fmt.Errorf("cluster: WithRouter with empty name")
+		}
+		if c.router != nil {
+			return fmt.Errorf("cluster: WithRouter(%q) conflicts with WithRouterInstance", name)
+		}
+		c.routerName = name
+		return nil
+	}
+}
+
+// WithRouterInstance installs a caller-built Router, bypassing the
+// registry — the escape hatch for routers configured beyond what a
+// RouterConfig carries (custom caps, test doubles). Conflicts with
+// WithRouter.
+func WithRouterInstance(r Router) Option {
+	return func(c *config) error {
+		if r == nil {
+			return fmt.Errorf("cluster: WithRouterInstance(nil)")
+		}
+		if c.routerName != "" {
+			return fmt.Errorf("cluster: WithRouterInstance conflicts with WithRouter(%q)", c.routerName)
+		}
+		c.router = r
+		return nil
+	}
+}
+
+// WithBuilder sets the replica factory: build(i) constructs replica i's
+// engine (seed it per-replica via ReplicaSeed for byte-stable runs).
+// Required — New errors without it. The builder outlives construction:
+// scale plans call it for replicas joining mid-run.
+func WithBuilder(build func(i int) (*engine.Engine, error)) Option {
+	return func(c *config) error {
+		if build == nil {
+			return fmt.Errorf("cluster: WithBuilder(nil)")
+		}
+		c.build = build
+		return nil
+	}
+}
+
+// WithSeed sets the fleet base seed randomized routers and the
+// failure-detection stream derive from (default 0). It does not seed
+// the replicas — the builder owns those, conventionally via
+// ReplicaSeed(base, i).
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
 
 // WithMaxConcurrent sets every replica session's concurrency limit
 // (engine.WithMaxConcurrent semantics). The default of 1 serves each
-// replica's requests strictly in order. n < 1 panics.
+// replica's requests strictly in order. n < 1 errors.
 func WithMaxConcurrent(n int) Option {
-	if n < 1 {
-		panic(fmt.Sprintf("cluster: WithMaxConcurrent(%d) must be at least 1", n))
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithMaxConcurrent(%d) must be at least 1", n)
+		}
+		c.maxConcurrent = n
+		return nil
 	}
-	return func(c *Cluster) { c.maxConcurrent = n }
 }
 
 // WithAdmission installs a fleet-level admission policy consulted at
@@ -71,13 +195,100 @@ func WithMaxConcurrent(n int) Option {
 // compose (fleet sheds first, replicas may still defer what gets
 // through).
 func WithAdmission(p engine.AdmissionPolicy) Option {
-	return func(c *Cluster) { c.adm = p }
+	return func(c *config) error {
+		c.adm = p
+		return nil
+	}
 }
 
-// replica is one independent serving stack.
+// WithLeaseTTL sets the lease timeout (simulated seconds) after which a
+// stalled replica is declared dead (default DefaultLeaseTTL). The
+// actual detection delay per failure is TTL stretched by a jittered
+// factor from the failure RNG stream. d <= 0 errors.
+func WithLeaseTTL(d float64) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("cluster: WithLeaseTTL(%g) must be positive", d)
+		}
+		c.leaseTTL = d
+		return nil
+	}
+}
+
+// WithWarmup sets the cache re-warm window (simulated seconds) a
+// scale-up replica spends Warming before it serves (default
+// DefaultWarmup). d < 0 errors; 0 means new replicas serve immediately.
+func WithWarmup(d float64) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("cluster: WithWarmup(%g) must be non-negative", d)
+		}
+		c.warmup = d
+		return nil
+	}
+}
+
+// WithFailure schedules an injected failure: replica fails at simulated
+// time at in the manner of kind. At most one failure per replica; the
+// replica must exist at construction (failing scale-up replicas is not
+// supported). Detection jitter for stalls draws from a dedicated seeded
+// stream, so runs without failures configured stay byte-identical.
+func WithFailure(replica int, at float64, kind FailureKind) Option {
+	return func(c *config) error {
+		if at < 0 {
+			return fmt.Errorf("cluster: WithFailure(%d, %g, %v) time must be non-negative", replica, at, kind)
+		}
+		if kind != FailStall && kind != FailDeath {
+			return fmt.Errorf("cluster: WithFailure(%d, %g, %d) unknown kind", replica, at, int(kind))
+		}
+		c.failures = append(c.failures, Failure{Replica: replica, At: at, Kind: kind})
+		return nil
+	}
+}
+
+// WithScalePlan schedules fleet resizes: each event adds (Delta > 0)
+// or drains (Delta < 0) replicas at its stamp. Events may be given in
+// any order; New validates the plan never drains the fleet below one
+// replica.
+func WithScalePlan(plan ...ScaleEvent) Option {
+	return func(c *config) error {
+		for _, ev := range plan {
+			if ev.Delta == 0 {
+				return fmt.Errorf("cluster: WithScalePlan event at %g has zero delta", ev.At)
+			}
+			if ev.At < 0 {
+				return fmt.Errorf("cluster: WithScalePlan event %+d@%g time must be non-negative", ev.Delta, ev.At)
+			}
+		}
+		c.scale = append(c.scale, plan...)
+		return nil
+	}
+}
+
+// WithRouteLog retains the last n dispatch decisions as RouteRecords
+// (RouteLog returns them oldest-first). Retention is opt-in so
+// long-running fleets don't accumulate unbounded history; without it
+// the cluster keeps only the per-replica counters Routed reports.
+// n < 1 errors.
+func WithRouteLog(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithRouteLog(%d) must be at least 1", n)
+		}
+		c.routeLog = n
+		return nil
+	}
+}
+
+// replica is one independent serving stack plus its lifecycle state.
 type replica struct {
-	eng *engine.Engine
-	ses *engine.Session
+	eng   *engine.Engine
+	ses   *engine.Session
+	state ReplicaState
+	// lease is the simulation time of the last heartbeat — renewed on
+	// every step the replica runs, frozen when it stalls.
+	lease   float64
+	stalled bool
 }
 
 // Cluster owns N replica stacks and a router, and advances the fleet in
@@ -90,15 +301,22 @@ type Cluster struct {
 	replicas      []*replica
 	router        Router
 	adm           engine.AdmissionPolicy
+	build         func(i int) (*engine.Engine, error)
 	maxConcurrent int
+	leaseTTL      float64
+	warmup        float64
+	// life schedules lifecycle transitions (failures, detections, scale
+	// events, warm-up promotions) on the same deterministic timeline
+	// arrivals ride.
+	life sim.Queue[lifeAction]
 	// pending holds submitted requests not yet dispatched, keyed by
 	// arrival stamp on the shared deterministic event queue (push order
 	// breaks ties — exactly the old stable sort), so dispatch is
 	// order-preserving the way session admission is.
 	pending sim.Queue[*fleetRequest]
-	// queue holds fleet-level admission records awaiting emission, one
-	// per Step call, ahead of replica compute — the session's admEvents
-	// idiom at fleet scope.
+	// queue holds fleet-level admission and lifecycle records awaiting
+	// emission ahead of replica compute — the session's admEvents idiom
+	// at fleet scope.
 	queue []Event
 	// ttfts and tbts aggregate latency observations across every
 	// replica's event stream; fleet admission snapshots quantile over
@@ -109,40 +327,115 @@ type Cluster struct {
 	// the way the session's decode-only path does.
 	promptless map[int]bool
 	routed     []int
+	routeLog   []RouteRecord
+	routeCap   int
+	routeHead  int
 	steps      int
 	shed       int
 	deferred   int
+	rerouted   int
+	lost       int
 }
 
-// New builds an n-replica cluster: build(i) constructs replica i's
-// engine (seed it per-replica for byte-stable runs), and router
-// dispatches arrivals across the resulting sessions. A build error is
-// returned with its replica index attached.
-func New(n int, router Router, build func(i int) (*engine.Engine, error), opts ...Option) (*Cluster, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("cluster: replica count %d must be at least 1", n)
+// New builds a cluster from functional options. WithBuilder is
+// required; everything else defaults (1 replica, round-robin router,
+// concurrency 1, DefaultLeaseTTL/DefaultWarmup, no failures, no scale
+// plan, no route log). Invalid or conflicting options error.
+func New(opts ...Option) (*Cluster, error) {
+	cfg := config{
+		replicas:      1,
+		maxConcurrent: 1,
+		leaseTTL:      DefaultLeaseTTL,
+		warmup:        DefaultWarmup,
 	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.build == nil {
+		return nil, fmt.Errorf("cluster: WithBuilder is required")
+	}
+	failed := map[int]bool{}
+	for _, f := range cfg.failures {
+		if f.Replica < 0 || f.Replica >= cfg.replicas {
+			return nil, fmt.Errorf("cluster: WithFailure replica %d out of range [0,%d)", f.Replica, cfg.replicas)
+		}
+		if failed[f.Replica] {
+			return nil, fmt.Errorf("cluster: WithFailure replica %d configured twice", f.Replica)
+		}
+		failed[f.Replica] = true
+	}
+	if len(cfg.scale) > 0 {
+		// The plan must never drain the fleet below one replica at any
+		// point of its time-ordered application.
+		ordered := append([]ScaleEvent(nil), cfg.scale...)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+		live := cfg.replicas
+		for _, ev := range ordered {
+			live += ev.Delta
+			if live < 1 {
+				return nil, fmt.Errorf("cluster: scale plan drains fleet to %d replicas at t=%g", live, ev.At)
+			}
+		}
+	}
+	router := cfg.router
 	if router == nil {
-		return nil, fmt.Errorf("cluster: nil router")
+		name := cfg.routerName
+		if name == "" {
+			name = "round-robin"
+		}
+		var err error
+		router, err = NewRouter(name, RouterConfig{
+			Replicas: cfg.replicas,
+			Seed:     cfg.seed,
+			LeaseTTL: cfg.leaseTTL,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	c := &Cluster{
 		router:        router,
-		maxConcurrent: 1,
+		adm:           cfg.adm,
+		build:         cfg.build,
+		maxConcurrent: cfg.maxConcurrent,
+		leaseTTL:      cfg.leaseTTL,
+		warmup:        cfg.warmup,
 		promptless:    map[int]bool{},
-		routed:        make([]int, n),
+		routed:        make([]int, cfg.replicas),
+		routeCap:      cfg.routeLog,
 	}
-	for _, opt := range opts {
-		opt(c)
+	if cfg.routeLog > 0 {
+		c.routeLog = make([]RouteRecord, 0, cfg.routeLog)
 	}
-	for i := 0; i < n; i++ {
-		eng, err := build(i)
+	for i := 0; i < cfg.replicas; i++ {
+		eng, err := cfg.build(i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: building replica %d: %w", i, err)
 		}
 		c.replicas = append(c.replicas, &replica{
-			eng: eng,
-			ses: eng.NewSession(engine.WithMaxConcurrent(c.maxConcurrent)),
+			eng:   eng,
+			ses:   eng.NewSession(engine.WithMaxConcurrent(cfg.maxConcurrent)),
+			state: StateServing,
 		})
+	}
+	// Failure schedule: the lifeFail stamps are configured; stall
+	// detection latency stretches the lease TTL by a jittered factor
+	// drawn from a dedicated stream — instantiated only here, so runs
+	// without failures never draw and stay byte-identical.
+	if len(cfg.failures) > 0 {
+		rng := stats.NewRNG(cfg.seed ^ failureSeedSalt)
+		for _, f := range cfg.failures {
+			c.life.Push(f.At, lifeAction{kind: lifeFail, replica: f.Replica, fail: f.Kind})
+			if f.Kind == FailStall {
+				detect := f.At + cfg.leaseTTL*(1+0.25*rng.Float64())
+				c.life.Push(detect, lifeAction{kind: lifeDetect, replica: f.Replica})
+			}
+		}
+	}
+	for _, ev := range cfg.scale {
+		c.life.Push(ev.At, lifeAction{kind: lifeScale, delta: ev.Delta})
 	}
 	return c, nil
 }
@@ -160,17 +453,23 @@ func (c *Cluster) Submit(reqs ...workload.Request) {
 	}
 }
 
-// Pending reports how many requests have not yet finished: undispatched
-// arrivals plus every replica's in-flight and queued count.
+// Pending reports how many requests have not yet finished or been
+// abandoned: undispatched arrivals plus every live replica's in-flight
+// and queued count (a dead replica's residual in-flight requests are
+// lost, not pending).
 func (c *Cluster) Pending() int {
 	n := c.pending.Len()
 	for _, r := range c.replicas {
+		if r.state == StateDead {
+			continue
+		}
 		n += r.ses.Pending()
 	}
 	return n
 }
 
-// Replicas reports the fleet size.
+// Replicas reports the fleet size, dead replicas included (indices are
+// stable for the whole run).
 func (c *Cluster) Replicas() int { return len(c.replicas) }
 
 // Session returns replica i's session, for per-replica inspection.
@@ -179,12 +478,28 @@ func (c *Cluster) Session(i int) *engine.Session { return c.replicas[i].ses }
 // Engine returns replica i's engine.
 func (c *Cluster) Engine(i int) *engine.Engine { return c.replicas[i].eng }
 
+// State reports replica i's lifecycle state.
+func (c *Cluster) State(i int) ReplicaState { return c.replicas[i].state }
+
 // Routed reports how many requests the router dispatched to each
-// replica (fleet-level sheds excluded).
+// replica (fleet-level sheds excluded; re-routes count at every replica
+// that received the request).
 func (c *Cluster) Routed() []int { return append([]int(nil), c.routed...) }
 
+// RouteLog returns the retained dispatch decisions oldest-first — empty
+// unless WithRouteLog opted into retention.
+func (c *Cluster) RouteLog() []RouteRecord {
+	if c.routeCap == 0 || len(c.routeLog) == 0 {
+		return nil
+	}
+	out := make([]RouteRecord, 0, len(c.routeLog))
+	out = append(out, c.routeLog[c.routeHead:]...)
+	out = append(out, c.routeLog[:c.routeHead]...)
+	return out
+}
+
 // Steps reports how many events the cluster has emitted, fleet-level
-// admission records included.
+// admission and lifecycle records included.
 func (c *Cluster) Steps() int { return c.steps }
 
 // Shed reports how many requests fleet-level admission dropped (replica
@@ -196,16 +511,33 @@ func (c *Cluster) Shed() int { return c.shed }
 // times; its PhaseDeferred event is emitted once).
 func (c *Cluster) Deferred() int { return c.deferred }
 
+// Rerouted reports how many queued requests were reclaimed from dead
+// replicas and re-entered the dispatch queue.
+func (c *Cluster) Rerouted() int { return c.rerouted }
+
+// Lost reports how many in-flight requests died with their replica —
+// work that had started compute and could not be reclaimed.
+func (c *Cluster) Lost() int { return c.lost }
+
 // RouterName reports the dispatch policy steering this cluster.
 func (c *Cluster) RouterName() string { return c.router.Name() }
 
-// frontier reports the minimum simulation clock across replicas with
-// work in flight — the instant the fleet's next compute step runs at,
-// and therefore the latest arrival stamp dispatch may observe without
-// leaking the future. ok is false when every replica is idle.
+// steppable reports whether replica i can run a compute step: alive,
+// not stalled, with work queued.
+func (c *Cluster) steppable(i int) bool {
+	r := c.replicas[i]
+	return r.state != StateDead && !r.stalled && r.ses.Pending() > 0
+}
+
+// frontier reports the minimum simulation clock across steppable
+// replicas — the instant the fleet's next compute step runs at, and
+// therefore the latest arrival stamp dispatch may observe without
+// leaking the future. Stalled and dead replicas are excluded: a frozen
+// clock must not freeze the fleet's horizon. ok is false when nothing
+// is steppable.
 func (c *Cluster) frontier() (at float64, ok bool) {
-	for _, r := range c.replicas {
-		if r.ses.Pending() == 0 {
+	for i, r := range c.replicas {
+		if !c.steppable(i) {
 			continue
 		}
 		if clk := r.eng.Clock(); !ok || clk < at {
@@ -215,19 +547,32 @@ func (c *Cluster) frontier() (at float64, ok bool) {
 	return at, ok
 }
 
-// views assembles the router's per-replica snapshot: queue depth, clock,
-// and the predicted-expert residency the affinity router scores.
-func (c *Cluster) views() []ReplicaView {
-	views := make([]ReplicaView, len(c.replicas))
+// views assembles the router's snapshot of the dispatch-eligible
+// replicas: every Serving replica's queue depth, clock, lease freshness
+// at fleet time now, and the predicted-expert residency the affinity
+// router scores. A silently stalled replica still appears — nominally
+// Serving, its growing LeaseAge the only tell — which is exactly the
+// trap lease-aware routers exist to dodge.
+func (c *Cluster) views(now float64) []ReplicaView {
+	views := make([]ReplicaView, 0, len(c.replicas))
 	for i, r := range c.replicas {
+		if r.state != StateServing {
+			continue
+		}
 		res, pred := r.eng.PredictedResidency()
-		views[i] = ReplicaView{
+		age := 0.0
+		if r.stalled && now > r.lease {
+			age = now - r.lease
+		}
+		views = append(views, ReplicaView{
 			Index:     i,
+			State:     r.state,
 			Pending:   r.ses.Pending(),
 			Clock:     r.eng.Clock(),
+			LeaseAge:  age,
 			Resident:  res,
 			Predicted: pred,
-		}
+		})
 	}
 	return views
 }
@@ -237,6 +582,9 @@ func (c *Cluster) views() []ReplicaView {
 func (c *Cluster) snapshot(now float64) engine.SLOSnapshot {
 	active, queued := 0, 0
 	for _, r := range c.replicas {
+		if r.state == StateDead {
+			continue
+		}
 		active += r.ses.Pending()
 	}
 	c.pending.Scan(func(at float64, _ *fleetRequest) {
@@ -253,17 +601,32 @@ func (c *Cluster) snapshot(now float64) engine.SLOSnapshot {
 	}
 }
 
+// record retains one dispatch decision when WithRouteLog opted in.
+func (c *Cluster) record(rec RouteRecord) {
+	if c.routeCap == 0 {
+		return
+	}
+	if len(c.routeLog) < c.routeCap {
+		c.routeLog = append(c.routeLog, rec)
+		return
+	}
+	c.routeLog[c.routeHead] = rec
+	c.routeHead = (c.routeHead + 1) % c.routeCap
+}
+
 // dispatch moves every observable arrival through fleet admission and
 // the router into a replica session. The horizon — the latest arrival
-// stamp dispatch may act on — is the busy-replica clock frontier, or the
-// head arrival itself when the fleet is idle (the clock is about to jump
-// there, the session idle-gap rule lifted to the fleet). The horizon
-// only ratchets forward within one pass: dispatching to a stale-clocked
-// idle replica lowers the raw frontier, but an arrival observable at a
-// time stays observable. Dispatch is order-preserving — a deferred head
-// blocks everything behind it, unless the whole fleet is idle, in which
-// case it is promoted the way an empty session promotes (waiting cannot
-// improve quantiles no one is producing).
+// stamp dispatch may act on — is the steppable-replica clock frontier,
+// or the head arrival itself when the fleet is idle (the clock is about
+// to jump there, the session idle-gap rule lifted to the fleet). The
+// horizon only ratchets forward within one pass: dispatching to a
+// stale-clocked idle replica lowers the raw frontier, but an arrival
+// observable at a time stays observable. Lifecycle actions the horizon
+// has reached fire before routing, so dispatch never consults a fleet
+// shape the timeline has already changed. Dispatch is order-preserving —
+// a deferred head blocks everything behind it, unless the whole fleet
+// is idle, in which case it is promoted the way an empty session
+// promotes (waiting cannot improve quantiles no one is producing).
 func (c *Cluster) dispatch() {
 	horizon := math.Inf(-1)
 	for {
@@ -278,10 +641,17 @@ func (c *Cluster) dispatch() {
 		case !busy && head.req.Arrival > horizon:
 			horizon = head.req.Arrival
 		}
+		if c.tickLife(horizon) {
+			// The fleet changed shape (stall, death, scale); re-derive
+			// the frontier and the head before routing.
+			continue
+		}
 		if head.req.Arrival > horizon {
 			return
 		}
-		if c.adm != nil {
+		if c.adm != nil && !head.rerouted {
+			// Re-routed requests were admitted once already; the fleet
+			// door does not get a second chance to shed them.
 			switch d := c.adm.Decide(head.req, c.snapshot(horizon)); d {
 			case engine.AdmissionShed:
 				c.pending.PopMin()
@@ -311,14 +681,37 @@ func (c *Cluster) dispatch() {
 				// skipped, exactly as in Session.admit.
 			}
 		}
-		views := c.views()
+		views := c.views(horizon)
+		if len(views) == 0 {
+			// Nothing is eligible (everything warming, draining or
+			// dead). Jump the timeline to the next lifecycle action —
+			// a warm-up promotion or scale-up may restore eligibility;
+			// if the timeline is exhausted the fleet is stranded and
+			// the remaining arrivals can never be served.
+			if at, a, ok := c.life.PopMin(); ok {
+				c.applyLife(a, at)
+				if at > horizon {
+					horizon = at
+				}
+				continue
+			}
+			return
+		}
 		pick := c.router.Pick(head.req, views)
-		if pick < 0 || pick >= len(c.replicas) {
-			panic(fmt.Sprintf("cluster: router %q picked replica %d of %d",
-				c.router.Name(), pick, len(c.replicas)))
+		valid := false
+		for _, v := range views {
+			if v.Index == pick {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			panic(fmt.Sprintf("cluster: router %q picked replica %d outside the %d eligible views",
+				c.router.Name(), pick, len(views)))
 		}
 		c.pending.PopMin()
 		c.routed[pick]++
+		c.record(RouteRecord{Request: head.req.ID, Replica: pick, At: horizon, Rerouted: head.rerouted})
 		if head.req.PromptTokens <= 0 {
 			c.promptless[head.req.ID] = true
 		}
@@ -346,43 +739,67 @@ func (c *Cluster) observe(ev engine.StepEvent) {
 	}
 }
 
-// Step advances the fleet by one event: a queued fleet admission record
-// if one is waiting, else one session step on the busy replica whose
-// clock trails the fleet (ties to the lowest index — the deterministic
-// lockstep order). ok is false when every submitted request has finished
-// or been shed.
+// Step advances the fleet by one event: a queued fleet admission or
+// lifecycle record if one is waiting, else one session step on the
+// steppable replica whose clock trails the fleet (ties to the lowest
+// index — the deterministic lockstep order), after firing any lifecycle
+// action that clock has reached. When nothing is steppable the timeline
+// jumps to the next lifecycle action (a stalled fleet waits for its
+// doctor). ok is false when every submitted request has finished, been
+// shed, or been stranded on a fleet with no serving capacity left and
+// no lifecycle action that could restore it.
 func (c *Cluster) Step() (ev Event, ok bool) {
-	if len(c.queue) == 0 {
-		c.dispatch()
-	}
-	if len(c.queue) > 0 {
-		ev = c.queue[0]
-		c.queue = c.queue[1:]
-		c.steps++
-		return ev, true
-	}
-	pick := -1
-	for i, r := range c.replicas {
-		if r.ses.Pending() == 0 {
+	for {
+		if len(c.queue) == 0 {
+			c.dispatch()
+		}
+		if len(c.queue) > 0 {
+			ev = c.queue[0]
+			c.queue = c.queue[1:]
+			c.steps++
+			return ev, true
+		}
+		pick := -1
+		for i := range c.replicas {
+			if !c.steppable(i) {
+				continue
+			}
+			if pick < 0 || c.replicas[i].eng.Clock() < c.replicas[pick].eng.Clock() {
+				pick = i
+			}
+		}
+		if pick >= 0 {
+			now := c.replicas[pick].eng.Clock()
+			if at, _, peek := c.life.PeekMin(); peek && at <= now {
+				// The lockstep clock has reached a lifecycle stamp:
+				// apply it before compute — the step about to run may
+				// be on the very replica the action stalls or kills.
+				c.tickLife(now)
+				continue
+			}
+			r := c.replicas[pick]
+			sev, sok := r.ses.Step()
+			if !sok {
+				// Pending() > 0 guarantees the session has a step to run; a
+				// refusal is an accounting bug, not a drained fleet.
+				panic(fmt.Sprintf("cluster: replica %d session refused to step with %d pending",
+					pick, r.ses.Pending()))
+			}
+			r.lease = r.eng.Clock()
+			c.observe(sev)
+			c.retireDrained(pick)
+			c.steps++
+			return Event{Replica: pick, StepEvent: sev}, true
+		}
+		// Nothing steppable: a stalled replica holding the only work
+		// waits for its detection, warming replicas for their promotion.
+		// Jump the timeline to the next lifecycle action.
+		if at, a, more := c.life.PopMin(); more {
+			c.applyLife(a, at)
 			continue
 		}
-		if pick < 0 || r.eng.Clock() < c.replicas[pick].eng.Clock() {
-			pick = i
-		}
-	}
-	if pick < 0 {
 		return Event{}, false
 	}
-	sev, sok := c.replicas[pick].ses.Step()
-	if !sok {
-		// Pending() > 0 guarantees the session has a step to run; a
-		// refusal is an accounting bug, not a drained fleet.
-		panic(fmt.Sprintf("cluster: replica %d session refused to step with %d pending",
-			pick, c.replicas[pick].ses.Pending()))
-	}
-	c.observe(sev)
-	c.steps++
-	return Event{Replica: pick, StepEvent: sev}, true
 }
 
 // Run drains the cluster, invoking handler (when non-nil) on every

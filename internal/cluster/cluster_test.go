@@ -38,11 +38,13 @@ func burstRequests(seed uint64, n int, rate float64) []workload.Request {
 }
 
 // TestClusterSingleReplicaMatchesSession is the acceptance pin: a
-// 1-replica cluster must be a transparent wrapper — its event stream is
-// identical, field for field, to a bare Session run on an equal-seed
-// engine with the same requests. The fleet dispatch gate (arrival ≤
-// busy-clock frontier, idle-fleet promotion) must reproduce exactly
-// when the session's own admit pass would first see each request.
+// 1-replica cluster with no failures and no scale plan must be a
+// transparent wrapper — its event stream is identical, field for field,
+// to a bare Session run on an equal-seed engine with the same requests.
+// The fleet dispatch gate (arrival ≤ busy-clock frontier, idle-fleet
+// promotion) must reproduce exactly when the session's own admit pass
+// would first see each request, and the idle lifecycle layer must not
+// perturb a single event.
 func TestClusterSingleReplicaMatchesSession(t *testing.T) {
 	const seed, n, rate = 600, 14, 6.0
 
@@ -55,13 +57,16 @@ func TestClusterSingleReplicaMatchesSession(t *testing.T) {
 	var want []engine.StepEvent
 	ses.Run(func(ev engine.StepEvent) { want = append(want, ev) })
 
-	c, err := New(1, NewRoundRobin(), buildReplica(t, seed), WithMaxConcurrent(3))
+	c, err := New(WithBuilder(buildReplica(t, seed)), WithMaxConcurrent(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Submit(burstRequests(seed, n, rate)...)
 	var got []engine.StepEvent
 	c.Run(func(ev Event) {
+		if ev.Kind != EventStep {
+			t.Fatalf("churn-free cluster emitted lifecycle event: %+v", ev)
+		}
 		if ev.Replica != 0 {
 			t.Fatalf("single-replica cluster emitted replica %d event: %+v", ev.Replica, ev)
 		}
@@ -86,11 +91,12 @@ func TestClusterSingleReplicaMatchesSession(t *testing.T) {
 func TestClusterDeterminism(t *testing.T) {
 	for _, name := range RouterNames() {
 		run := func() []Event {
-			r, err := NewRouter(name, 3, 77)
-			if err != nil {
-				t.Fatal(err)
-			}
-			c, err := New(3, r, buildReplica(t, 610), WithMaxConcurrent(2))
+			c, err := New(
+				WithReplicas(3),
+				WithRouter(name),
+				WithSeed(77),
+				WithBuilder(buildReplica(t, 610)),
+				WithMaxConcurrent(2))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,15 +121,18 @@ func TestClusterDeterminism(t *testing.T) {
 // TestClusterRoutersDispatchEverything checks the conservation law for
 // every router: with no fleet admission, every offered request is
 // routed to exactly one replica, the fleet drains, and per-request Done
-// events arrive once each.
+// events arrive once each. The route log (explicit opt-in) must agree
+// with the per-replica counters.
 func TestClusterRoutersDispatchEverything(t *testing.T) {
 	const offered = 12
 	for _, name := range RouterNames() {
-		r, err := NewRouter(name, 4, 33)
-		if err != nil {
-			t.Fatal(err)
-		}
-		c, err := New(4, r, buildReplica(t, 620), WithMaxConcurrent(2))
+		c, err := New(
+			WithReplicas(4),
+			WithRouter(name),
+			WithSeed(33),
+			WithBuilder(buildReplica(t, 620)),
+			WithMaxConcurrent(2),
+			WithRouteLog(offered))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,6 +164,20 @@ func TestClusterRoutersDispatchEverything(t *testing.T) {
 				t.Fatalf("router %q: request %d emitted %d Done events", name, id, n)
 			}
 		}
+		log := c.RouteLog()
+		if len(log) != offered {
+			t.Fatalf("router %q: route log holds %d records, want %d", name, len(log), offered)
+		}
+		fromLog := make([]int, c.Replicas())
+		for _, rec := range log {
+			if rec.Rerouted {
+				t.Fatalf("router %q: churn-free run logged a re-route: %+v", name, rec)
+			}
+			fromLog[rec.Replica]++
+		}
+		if !reflect.DeepEqual(fromLog, c.Routed()) {
+			t.Fatalf("router %q: route log %v disagrees with counters %v", name, fromLog, c.Routed())
+		}
 		if c.Pending() != 0 {
 			t.Fatalf("router %q left %d pending", name, c.Pending())
 		}
@@ -164,7 +187,7 @@ func TestClusterRoutersDispatchEverything(t *testing.T) {
 // TestClusterRoundRobinBalances pins the baseline: round-robin spreads
 // an exactly divisible burst evenly.
 func TestClusterRoundRobinBalances(t *testing.T) {
-	c, err := New(3, NewRoundRobin(), buildReplica(t, 630))
+	c, err := New(WithReplicas(3), WithBuilder(buildReplica(t, 630)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,6 +197,38 @@ func TestClusterRoundRobinBalances(t *testing.T) {
 		if n != 3 {
 			t.Fatalf("round-robin routed %d to replica %d, want 3 (counts %v)", n, i, c.Routed())
 		}
+	}
+}
+
+// TestClusterRouteLogRing pins the opt-in retention bound: the log
+// keeps only the last n dispatches, oldest-first, while the default
+// (no WithRouteLog) retains nothing.
+func TestClusterRouteLogRing(t *testing.T) {
+	const offered, keep = 9, 4
+	c, err := New(WithReplicas(2), WithBuilder(buildReplica(t, 635)), WithRouteLog(keep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(burstRequests(635, offered, 10)...)
+	c.Run(nil)
+	log := c.RouteLog()
+	if len(log) != keep {
+		t.Fatalf("route log holds %d records, want the last %d", len(log), keep)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].At < log[i-1].At {
+			t.Fatalf("route log out of order at %d: %+v after %+v", i, log[i], log[i-1])
+		}
+	}
+
+	def, err := New(WithReplicas(2), WithBuilder(buildReplica(t, 635)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def.Submit(burstRequests(635, offered, 10)...)
+	def.Run(nil)
+	if got := def.RouteLog(); got != nil {
+		t.Fatalf("default cluster retained %d route records, want none", len(got))
 	}
 }
 
@@ -191,7 +246,7 @@ func TestClusterFleetAdmissionSheds(t *testing.T) {
 	// simulated clock, so the overload must stay moderate — arrivals
 	// need to outlast the first prefills for the quantiles to reach the
 	// sample floor while later requests are still undecided.
-	base, err := New(2, NewLeastLoaded(), buildReplica(t, 640))
+	base, err := New(WithReplicas(2), WithRouter("least-loaded"), WithBuilder(buildReplica(t, 640)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +266,7 @@ func TestClusterFleetAdmissionSheds(t *testing.T) {
 	})
 	rate := 6 * float64(completed) / clockEnd
 
-	c, err := New(2, NewLeastLoaded(), buildReplica(t, 640),
+	c, err := New(WithReplicas(2), WithRouter("least-loaded"), WithBuilder(buildReplica(t, 640)),
 		WithAdmission(&engine.SLOAdmission{TTFTp95: maxForward * 1.05, MinSamples: 2, ShedFactor: 1.2}))
 	if err != nil {
 		t.Fatal(err)
@@ -244,19 +299,51 @@ func TestClusterFleetAdmissionSheds(t *testing.T) {
 	}
 }
 
-// TestClusterRejectsBadInputs covers constructor validation.
+// TestClusterRejectsBadInputs covers constructor and option validation:
+// every invalid or conflicting configuration must error from New, never
+// surface mid-run.
 func TestClusterRejectsBadInputs(t *testing.T) {
-	if _, err := New(0, NewRoundRobin(), buildReplica(t, 650)); err == nil {
-		t.Error("zero replicas should error")
-	}
-	if _, err := New(2, nil, buildReplica(t, 650)); err == nil {
-		t.Error("nil router should error")
-	}
+	build := buildReplica(t, 650)
 	boom := func(int) (*engine.Engine, error) {
 		return engine.New(&moe.Config{Name: "bad"}, hw.A6000Platform(), engine.HybriMoEFramework())
 	}
-	if _, err := New(2, NewRoundRobin(), boom); err == nil {
-		t.Error("failing builder should error")
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"no builder", nil},
+		{"zero replicas", []Option{WithReplicas(0), WithBuilder(build)}},
+		{"failing builder", []Option{WithReplicas(2), WithBuilder(boom)}},
+		{"nil builder", []Option{WithBuilder(nil)}},
+		{"unknown router", []Option{WithBuilder(build), WithRouter("warp-drive")}},
+		{"empty router name", []Option{WithBuilder(build), WithRouter("")}},
+		{"nil router instance", []Option{WithBuilder(build), WithRouterInstance(nil)}},
+		{"router name and instance", []Option{
+			WithBuilder(build), WithRouter("affinity"), WithRouterInstance(NewRoundRobin())}},
+		{"instance then name", []Option{
+			WithBuilder(build), WithRouterInstance(NewRoundRobin()), WithRouter("affinity")}},
+		{"zero concurrency", []Option{WithBuilder(build), WithMaxConcurrent(0)}},
+		{"non-positive lease", []Option{WithBuilder(build), WithLeaseTTL(0)}},
+		{"negative warmup", []Option{WithBuilder(build), WithWarmup(-0.1)}},
+		{"failure out of range", []Option{
+			WithReplicas(2), WithBuilder(build), WithFailure(2, 0.5, FailStall)}},
+		{"failure negative time", []Option{
+			WithReplicas(2), WithBuilder(build), WithFailure(0, -1, FailStall)}},
+		{"failure unknown kind", []Option{
+			WithReplicas(2), WithBuilder(build), WithFailure(0, 0.5, FailureKind(9))}},
+		{"duplicate failure", []Option{
+			WithReplicas(2), WithBuilder(build),
+			WithFailure(1, 0.3, FailStall), WithFailure(1, 0.6, FailDeath)}},
+		{"zero-delta scale", []Option{
+			WithBuilder(build), WithScalePlan(ScaleEvent{At: 0.5})}},
+		{"scale below one replica", []Option{
+			WithReplicas(2), WithBuilder(build), WithScalePlan(ScaleEvent{At: 0.5, Delta: -2})}},
+		{"zero route log", []Option{WithBuilder(build), WithRouteLog(0)}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opts...); err == nil {
+			t.Errorf("%s: New succeeded, want error", tc.name)
+		}
 	}
 }
 
@@ -266,10 +353,11 @@ type badRouter struct{}
 func (badRouter) Name() string                             { return "bad" }
 func (badRouter) Pick(workload.Request, []ReplicaView) int { return 99 }
 
-// TestClusterPanicsOnBadPick pins the scheduler-bug convention: an
-// out-of-range router pick panics instead of corrupting accounting.
+// TestClusterPanicsOnBadPick pins the scheduler-bug convention: a
+// router pick outside the eligible views panics instead of corrupting
+// accounting.
 func TestClusterPanicsOnBadPick(t *testing.T) {
-	c, err := New(2, badRouter{}, buildReplica(t, 660))
+	c, err := New(WithReplicas(2), WithRouterInstance(badRouter{}), WithBuilder(buildReplica(t, 660)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +372,7 @@ func TestClusterPanicsOnBadPick(t *testing.T) {
 
 // TestClusterDropsZeroWork pins the Submit contract shared with Session.
 func TestClusterDropsZeroWork(t *testing.T) {
-	c, err := New(1, NewRoundRobin(), buildReplica(t, 670))
+	c, err := New(WithBuilder(buildReplica(t, 670)))
 	if err != nil {
 		t.Fatal(err)
 	}

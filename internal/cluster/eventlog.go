@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// EventKind discriminates fleet events: ordinary replica compute steps
+// (the zero value, omitted from JSON so step records keep the engine
+// event schema plus a Replica tag) from first-class lifecycle records.
+type EventKind string
+
+// Event kinds.
+const (
+	// EventStep is a replica compute/admission step — the embedded
+	// StepEvent carries the payload.
+	EventStep EventKind = ""
+	// EventReplicaWarming records a scale-up replica joining the fleet
+	// cold; Start/End stamp the join.
+	EventReplicaWarming EventKind = "replica-warming"
+	// EventReplicaDraining records a scale-down replica closing to new
+	// dispatches.
+	EventReplicaDraining EventKind = "replica-draining"
+	// EventReplicaDead records a replica leaving the fleet — drained
+	// empty, hard-killed, or declared dead on lease expiry. For kills,
+	// Tokens counts the in-flight requests abandoned with it.
+	EventReplicaDead EventKind = "replica-dead"
+	// EventRerouted records one queued, un-emitted request reclaimed
+	// from a dead replica back into the dispatch queue with its
+	// original arrival stamp; Replica names the replica it left.
+	EventRerouted EventKind = "rerouted"
+)
+
+// WriteEventLog serialises a fleet Event stream as JSONL — one JSON
+// object per event, byte-stable for identical streams, the same
+// contract as engine.WriteEventLog. Step events omit the Kind field, so
+// a lifecycle-free fleet log is the engine schema plus a Replica tag;
+// lifecycle records carry their kind explicitly.
+func WriteEventLog(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		// Encode appends the newline that terminates each record.
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

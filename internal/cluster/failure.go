@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FailureKind selects how an injected failure manifests.
+type FailureKind int
+
+const (
+	// FailStall freezes the replica's clock silently: it stops stepping
+	// and stops renewing its lease, but the fleet keeps routing to it
+	// until the lease expires (detection latency drawn from the
+	// cluster's dedicated failure RNG stream). On detection the replica
+	// is declared dead and its queue reclaimed.
+	FailStall FailureKind = iota
+	// FailDeath kills the replica at the failure instant: the death is
+	// immediately visible and its queue is reclaimed on the spot.
+	FailDeath
+)
+
+// String returns the kind name used by -fail specs and event logs.
+func (k FailureKind) String() string {
+	switch k {
+	case FailStall:
+		return "stall"
+	case FailDeath:
+		return "death"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// Failure is one injected replica failure: replica Replica fails at
+// simulated time At in the manner of Kind.
+type Failure struct {
+	Replica int
+	At      float64
+	Kind    FailureKind
+}
+
+// ParseFailures parses a comma-separated failure spec of the form
+// "replica@time:kind", e.g. "1@0.3:stall,2@0.8:death". Kind defaults
+// to stall when omitted.
+func ParseFailures(spec string) ([]Failure, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Failure
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at := strings.IndexByte(part, '@')
+		if at < 0 {
+			return nil, fmt.Errorf("cluster: failure %q: want replica@time[:kind]", part)
+		}
+		replica, err := strconv.Atoi(part[:at])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: failure %q: bad replica: %v", part, err)
+		}
+		rest := part[at+1:]
+		kind := FailStall
+		if colon := strings.IndexByte(rest, ':'); colon >= 0 {
+			switch rest[colon+1:] {
+			case "stall":
+				kind = FailStall
+			case "death":
+				kind = FailDeath
+			default:
+				return nil, fmt.Errorf("cluster: failure %q: unknown kind %q (want stall or death)", part, rest[colon+1:])
+			}
+			rest = rest[:colon]
+		}
+		t, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: failure %q: bad time: %v", part, err)
+		}
+		out = append(out, Failure{Replica: replica, At: t, Kind: kind})
+	}
+	return out, nil
+}
+
+// ParseScalePlan parses a comma-separated scale spec of the form
+// "+delta@time" / "-delta@time", e.g. "+1@0.5,-2@1.2".
+func ParseScalePlan(spec string) ([]ScaleEvent, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []ScaleEvent
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at := strings.IndexByte(part, '@')
+		if at < 0 {
+			return nil, fmt.Errorf("cluster: scale event %q: want ±delta@time", part)
+		}
+		delta, err := strconv.Atoi(part[:at])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: scale event %q: bad delta: %v", part, err)
+		}
+		t, err := strconv.ParseFloat(part[at+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: scale event %q: bad time: %v", part, err)
+		}
+		out = append(out, ScaleEvent{At: t, Delta: delta})
+	}
+	return out, nil
+}

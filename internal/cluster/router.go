@@ -9,15 +9,29 @@ import (
 )
 
 // ReplicaView is one replica's state as a router sees it at dispatch
-// time: queue depth, clock, and the cache-affinity signal.
+// time: queue depth, clock, lifecycle freshness and the cache-affinity
+// signal.
 type ReplicaView struct {
-	// Index is the replica's position in the cluster.
+	// Index is the replica's position in the cluster. Routers return it
+	// from Pick — with lifecycle in play the view slice holds only the
+	// dispatch-eligible replicas, so a view's position and its Index
+	// need not agree.
 	Index int
+	// State is the replica's lifecycle state. Every view handed to Pick
+	// is StateServing (the cluster filters eligibility before routing);
+	// the field is carried for router telemetry and for consumers
+	// inspecting views directly.
+	State ReplicaState
 	// Pending is the replica's in-flight plus queued request count
 	// (Session.Pending).
 	Pending int
 	// Clock is the replica's simulation clock in seconds.
 	Clock float64
+	// LeaseAge is how long ago (seconds of fleet time) the replica last
+	// renewed its lease. Healthy replicas heartbeat continuously and
+	// report 0; a growing LeaseAge is the one observable symptom of a
+	// silently stalled replica before the doctor declares it dead.
+	LeaseAge float64
 	// Resident and Predicted carry the expert-affinity signal
 	// (Engine.PredictedResidency): of the Predicted experts the
 	// replica's gate-reuse prediction expects its next iteration to
@@ -38,20 +52,24 @@ func (v ReplicaView) readiness() float64 {
 }
 
 // Router picks the replica each arriving request is dispatched to.
-// Pick sees every replica (views[i].Index == i) and must return a valid
-// index; the cluster panics on an out-of-range pick, the way the engine
-// treats scheduler bugs. Routers may keep state (cursors, RNG streams) —
-// the cluster owns exactly one instance, so dispatch order is the only
-// input and runs stay byte-stable.
+// Pick sees the dispatch-eligible (Serving) replicas only and must
+// return the Index of one of the views it was handed; the cluster
+// panics on any other value, the way the engine treats scheduler bugs.
+// On a full healthy fleet views[i].Index == i, so position-based
+// rotation arithmetic keeps its historical behaviour. Routers may keep
+// state (cursors, RNG streams) — the cluster owns exactly one instance,
+// so dispatch order is the only input and runs stay byte-stable.
 type Router interface {
 	// Name identifies the router in experiment tables.
 	Name() string
-	// Pick returns the replica index req is dispatched to.
+	// Pick returns the Index of the view req is dispatched to.
 	Pick(req workload.Request, views []ReplicaView) int
 }
 
 // RoundRobin dispatches requests to replicas in rotation, blind to load
-// and cache state — the content-blind fleet baseline.
+// and cache state — the content-blind fleet baseline. The rotation
+// cursor walks the eligible set, so a dead replica's slot is skipped
+// rather than stalling the wheel.
 type RoundRobin struct{ next int }
 
 // NewRoundRobin returns a rotation starting at replica 0.
@@ -64,7 +82,7 @@ func (r *RoundRobin) Name() string { return "round-robin" }
 func (r *RoundRobin) Pick(_ workload.Request, views []ReplicaView) int {
 	idx := r.next % len(views)
 	r.next = (r.next + 1) % len(views)
-	return idx
+	return views[idx].Index
 }
 
 // LeastLoaded dispatches each request to the replica with the fewest
@@ -81,12 +99,12 @@ func (l *LeastLoaded) Name() string { return "least-loaded" }
 // Pick implements Router.
 func (l *LeastLoaded) Pick(_ workload.Request, views []ReplicaView) int {
 	best := 0
-	for _, v := range views[1:] {
+	for i, v := range views[1:] {
 		if v.Pending < views[best].Pending {
-			best = v.Index
+			best = i + 1
 		}
 	}
-	return best
+	return views[best].Index
 }
 
 // PowerOfTwo samples two distinct replicas from its own RNG stream and
@@ -108,7 +126,7 @@ func (p *PowerOfTwo) Name() string { return "power-of-two" }
 func (p *PowerOfTwo) Pick(_ workload.Request, views []ReplicaView) int {
 	n := len(views)
 	if n == 1 {
-		return 0
+		return views[0].Index
 	}
 	i := p.rng.Intn(n)
 	j := p.rng.Intn(n - 1)
@@ -121,9 +139,9 @@ func (p *PowerOfTwo) Pick(_ workload.Request, views []ReplicaView) int {
 	// i < j: on equal depth the lower index wins, keeping ties
 	// deterministic whatever order the draws came out.
 	if views[j].Pending < views[i].Pending {
-		return j
+		return views[j].Index
 	}
-	return i
+	return views[i].Index
 }
 
 // DefaultReadyDiscount is the availability credit (in seconds) a fully
@@ -155,10 +173,17 @@ type Affinity struct {
 	// residency buys; non-positive values fall back to
 	// DefaultReadyDiscount.
 	ReadyDiscount float64
+	// StaleTolerance, when positive, makes the router lease-aware: a
+	// view whose LeaseAge exceeds it is suspected stalled (a frozen
+	// clock looks unbeatably available — exactly the trap) and is
+	// skipped unless every view is suspect. The registry factory sets
+	// it to half the cluster's lease TTL; the zero value trusts every
+	// Serving view, the pre-lifecycle behaviour.
+	StaleTolerance float64
 }
 
 // NewAffinity returns an affinity router with the default strict
-// imbalance cap and readiness discount.
+// imbalance cap and readiness discount, trusting every Serving view.
 func NewAffinity() *Affinity { return &Affinity{} }
 
 // Name implements Router.
@@ -178,16 +203,37 @@ func (a *Affinity) discount() float64 {
 	return a.ReadyDiscount
 }
 
+// suspect reports whether the view's lease is stale enough to dodge.
+func (a *Affinity) suspect(v ReplicaView) bool {
+	return a.StaleTolerance > 0 && v.LeaseAge > a.StaleTolerance
+}
+
 // Pick implements Router.
 func (a *Affinity) Pick(_ workload.Request, views []ReplicaView) int {
-	minPending := views[0].Pending
-	for _, v := range views[1:] {
-		if v.Pending < minPending {
-			minPending = v.Pending
+	// Lease-awareness: prefer fresh views; if every lease is stale the
+	// filter yields nothing and the full set stays in play (a wrong
+	// guess beats a stranded request).
+	fresh := 0
+	for _, v := range views {
+		if !a.suspect(v) {
+			fresh++
+		}
+	}
+	useFilter := fresh > 0 && fresh < len(views)
+	minPending, seeded := 0, false
+	for _, v := range views {
+		if useFilter && a.suspect(v) {
+			continue
+		}
+		if !seeded || v.Pending < minPending {
+			minPending, seeded = v.Pending, true
 		}
 	}
 	best, bestScore := -1, 0.0
 	for _, v := range views {
+		if useFilter && a.suspect(v) {
+			continue
+		}
 		if v.Pending > minPending+a.cap() {
 			continue
 		}
@@ -199,10 +245,25 @@ func (a *Affinity) Pick(_ workload.Request, views []ReplicaView) int {
 	return best
 }
 
-// Factory builds one router instance for a cluster of n replicas.
-// Randomized routers derive their stream from seed, so equal-seed runs
-// are byte-stable.
-type Factory func(n int, seed uint64) Router
+// RouterConfig carries everything a router factory may condition on:
+// fleet shape, the seed randomized routers derive their streams from,
+// and the lifecycle knobs lease-aware routers calibrate against. New
+// fields extend it without another breaking Factory signature change.
+type RouterConfig struct {
+	// Replicas is the fleet size at construction (scale plans may grow
+	// it later).
+	Replicas int
+	// Seed is the fleet base seed; randomized routers must derive their
+	// streams from it so equal-seed runs stay byte-stable.
+	Seed uint64
+	// LeaseTTL is the cluster's lease timeout in simulated seconds —
+	// the detection horizon lease-aware routers calibrate their
+	// staleness tolerance against.
+	LeaseTTL float64
+}
+
+// Factory builds one router instance for a cluster from its config.
+type Factory func(cfg RouterConfig) Router
 
 var registry = map[string]Factory{}
 
@@ -222,14 +283,14 @@ func RegisterRouter(name string, f Factory) {
 	registry[name] = f
 }
 
-// NewRouter builds the named router for an n-replica fleet, or returns
-// a descriptive error for an unknown name.
-func NewRouter(name string, n int, seed uint64) (Router, error) {
+// NewRouter builds the named router from cfg, or returns a descriptive
+// error for an unknown name.
+func NewRouter(name string, cfg RouterConfig) (Router, error) {
 	f, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown router %q (have %v)", name, RouterNames())
 	}
-	return f(n, seed), nil
+	return f(cfg), nil
 }
 
 // RouterNames lists the registered routers in sorted order.
@@ -243,8 +304,10 @@ func RouterNames() []string {
 }
 
 func init() {
-	RegisterRouter("round-robin", func(int, uint64) Router { return NewRoundRobin() })
-	RegisterRouter("least-loaded", func(int, uint64) Router { return NewLeastLoaded() })
-	RegisterRouter("power-of-two", func(_ int, seed uint64) Router { return NewPowerOfTwo(seed) })
-	RegisterRouter("affinity", func(int, uint64) Router { return NewAffinity() })
+	RegisterRouter("round-robin", func(RouterConfig) Router { return NewRoundRobin() })
+	RegisterRouter("least-loaded", func(RouterConfig) Router { return NewLeastLoaded() })
+	RegisterRouter("power-of-two", func(cfg RouterConfig) Router { return NewPowerOfTwo(cfg.Seed) })
+	RegisterRouter("affinity", func(cfg RouterConfig) Router {
+		return &Affinity{StaleTolerance: cfg.LeaseTTL / 2}
+	})
 }

@@ -127,6 +127,55 @@ func TestAffinityImbalanceCapExcludesDeepQueues(t *testing.T) {
 	}
 }
 
+// TestRoutersReturnViewIndex pins the eligibility contract: when the
+// view slice holds a non-contiguous subset of the fleet (lifecycle
+// filtered out replica 1, say), every router must return the Index of
+// one of the views it was handed, not a position.
+func TestRoutersReturnViewIndex(t *testing.T) {
+	// Replicas 0 and 2 eligible; 1 is dead/warming and absent.
+	eligible := []ReplicaView{
+		{Index: 0, Pending: 1},
+		{Index: 2, Pending: 0},
+	}
+	routers := []Router{NewRoundRobin(), NewLeastLoaded(), NewPowerOfTwo(9), NewAffinity()}
+	for _, r := range routers {
+		for i := 0; i < 8; i++ {
+			pick := r.Pick(workload.Request{}, eligible)
+			if pick != 0 && pick != 2 {
+				t.Fatalf("router %q picked %d, not an eligible Index", r.Name(), pick)
+			}
+		}
+	}
+}
+
+// TestAffinityDodgesStaleLeases pins lease-awareness: with a positive
+// StaleTolerance, a view whose LeaseAge exceeds it loses to fresh views
+// even when its frozen clock looks unbeatably available — and when
+// every view is stale the filter yields to the full set rather than
+// strand the request.
+func TestAffinityDodgesStaleLeases(t *testing.T) {
+	r := &Affinity{StaleTolerance: 0.1}
+	vs := views(0, 0)
+	// Replica 0 stalled long ago: clock frozen at 0 (earliest = most
+	// attractive), lease far past tolerance. Replica 1 is fresh but
+	// later-clocked.
+	vs[0].LeaseAge = 0.5
+	vs[1].Clock = 2.0
+	if got := r.Pick(workload.Request{}, vs); got != 1 {
+		t.Fatalf("picked %d; stale lease did not disqualify the frozen clock", got)
+	}
+	// All stale: better a suspect replica than none.
+	vs[1].LeaseAge = 0.5
+	if got := r.Pick(workload.Request{}, vs); got != 0 {
+		t.Fatalf("picked %d, want 0 when every lease is stale", got)
+	}
+	// Zero tolerance trusts everything, the pre-lifecycle behaviour.
+	trusting := NewAffinity()
+	if got := trusting.Pick(workload.Request{}, vs); got != 0 {
+		t.Fatalf("picked %d; zero tolerance must ignore LeaseAge", got)
+	}
+}
+
 func TestRouterRegistry(t *testing.T) {
 	names := RouterNames()
 	want := []string{"affinity", "least-loaded", "power-of-two", "round-robin"}
@@ -134,7 +183,7 @@ func TestRouterRegistry(t *testing.T) {
 		t.Fatalf("RouterNames() = %v, want %v", names, want)
 	}
 	for _, name := range names {
-		r, err := NewRouter(name, 4, 7)
+		r, err := NewRouter(name, RouterConfig{Replicas: 4, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,10 +191,19 @@ func TestRouterRegistry(t *testing.T) {
 			t.Fatalf("router %q reports name %q", name, r.Name())
 		}
 	}
-	if _, err := NewRouter("nope", 4, 7); err == nil {
+	if _, err := NewRouter("nope", RouterConfig{Replicas: 4, Seed: 7}); err == nil {
 		t.Fatal("unknown router name should error")
 	} else if !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("error %q does not name the unknown router", err)
+	}
+	// The registry affinity router calibrates staleness to the lease TTL
+	// the cluster actually runs with.
+	r, err := NewRouter("affinity", RouterConfig{Replicas: 4, Seed: 7, LeaseTTL: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aff, ok := r.(*Affinity); !ok || aff.StaleTolerance != 0.25 {
+		t.Fatalf("affinity factory produced %+v, want StaleTolerance = LeaseTTL/2", r)
 	}
 }
 
@@ -159,8 +217,10 @@ func TestRegisterRouterPanicsOnMisuse(t *testing.T) {
 		f()
 	}
 	mustPanic("duplicate registration", func() {
-		RegisterRouter("round-robin", func(int, uint64) Router { return NewRoundRobin() })
+		RegisterRouter("round-robin", func(RouterConfig) Router { return NewRoundRobin() })
 	})
 	mustPanic("nil factory", func() { RegisterRouter("fresh", nil) })
-	mustPanic("empty name", func() { RegisterRouter("", func(int, uint64) Router { return NewRoundRobin() }) })
+	mustPanic("empty name", func() {
+		RegisterRouter("", func(RouterConfig) Router { return NewRoundRobin() })
+	})
 }

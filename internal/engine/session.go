@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"hybrimoe/internal/report"
 	"hybrimoe/internal/reqsched"
@@ -274,6 +275,82 @@ func (s *Session) Submit(reqs ...workload.Request) {
 // requests still waiting on their arrival included, shed and zero-work
 // submissions (dropped at Submit) not.
 func (s *Session) Pending() int { return s.future + len(s.arrived) + len(s.active) }
+
+// Reclaim removes and returns every submitted request that has not yet
+// run a compute step — scheduled arrivals still on the timeline, the
+// arrived admission queue (deferred requests included), and admitted
+// requests the scheduler never picked — in submission order, with their
+// original fields (Arrival stamps included) intact. Requests whose first
+// compute step has run stay in flight and are not returned: their state
+// (KV context, partial decode) lives in this engine and cannot move.
+//
+// Reclaim exists for fleet lifecycle: when a replica is declared dead,
+// the cluster pulls its undelivered queue back out and re-routes it, so
+// queue-inclusive TTFT honestly carries the time lost on the dead box.
+// A reclaimed-from session stays consistent (Pending drops, in-flight
+// requests keep running), but the request scheduler's rotation state is
+// not re-anchored around the removals — reclaim from sessions being
+// retired, not ones still serving a rotation-sensitive policy.
+func (s *Session) Reclaim() []workload.Request {
+	type taken struct {
+		submitSeq int
+		req       workload.Request
+	}
+	var out []taken
+
+	// Scheduled arrivals: rebuild the timeline without them. Popping in
+	// (stamp, push) order and re-pushing preserves the relative order of
+	// the surviving entries.
+	if s.future > 0 {
+		type kept struct {
+			at float64
+			ev sessionEvent
+		}
+		var keep []kept
+		for {
+			at, e, ok := s.events.PopMin()
+			if !ok {
+				break
+			}
+			if e.kind == evArrival {
+				s.future--
+				out = append(out, taken{e.req.submitSeq, e.req.req})
+				continue
+			}
+			keep = append(keep, kept{at, e})
+		}
+		for _, k := range keep {
+			s.events.Push(k.at, k.ev)
+		}
+	}
+
+	// The arrived admission queue: nothing in it has started compute.
+	for _, r := range s.arrived {
+		out = append(out, taken{r.submitSeq, r.req})
+	}
+	s.arrived = s.arrived[:0]
+
+	// Admitted requests the scheduler never stepped.
+	remaining := s.active[:0]
+	for _, r := range s.active {
+		if r.started {
+			remaining = append(remaining, r)
+			continue
+		}
+		out = append(out, taken{r.submitSeq, r.req})
+	}
+	for i := len(remaining); i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = remaining
+
+	sort.Slice(out, func(i, j int) bool { return out[i].submitSeq < out[j].submitSeq })
+	reqs := make([]workload.Request, len(out))
+	for i, t := range out {
+		reqs[i] = t.req
+	}
+	return reqs
+}
 
 // Steps reports how many step events the session has emitted,
 // shed/deferral records included.

@@ -44,19 +44,29 @@ func (r fleetRun) goodput() float64 {
 // NewFleet assembles the canonical fleet every consumer (the study, the
 // CLI, the benchmark) shares: n HybriMoE replicas on A6000-class boxes,
 // seeded per replica from the base seed, steered by the named router.
+// Replicas beyond the initial n — born from a scale plan — are built
+// with cache warm-up disabled, so a mid-run join pays the cold-cache
+// re-warm cost the lifecycle model charges for elasticity.
 func NewFleet(n int, routerName string, seed uint64, ratio float64,
 	opts ...cluster.Option) (*cluster.Cluster, error) {
-	router, err := cluster.NewRouter(routerName, n, seed)
-	if err != nil {
-		return nil, err
-	}
 	build := func(i int) (*engine.Engine, error) {
-		return engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(),
+		eopts := []engine.Option{
 			engine.WithCacheRatio(ratio),
-			engine.WithSeed(cluster.ReplicaSeed(seed, i)))
+			engine.WithSeed(cluster.ReplicaSeed(seed, i)),
+		}
+		if i >= n {
+			eopts = append(eopts, engine.WithWarmupIters(0))
+		}
+		return engine.New(moe.DeepSeek(), hw.A6000Platform(), engine.HybriMoEFramework(), eopts...)
 	}
-	opts = append([]cluster.Option{cluster.WithMaxConcurrent(FleetConcurrent)}, opts...)
-	return cluster.New(n, router, build, opts...)
+	opts = append([]cluster.Option{
+		cluster.WithReplicas(n),
+		cluster.WithRouter(routerName),
+		cluster.WithBuilder(build),
+		cluster.WithSeed(seed),
+		cluster.WithMaxConcurrent(FleetConcurrent),
+	}, opts...)
+	return cluster.New(opts...)
 }
 
 // driveFleet serves reqs through a fresh n-replica fleet under the
@@ -76,6 +86,11 @@ func driveFleet(p Params, ratio float64, n int, routerName string,
 	r := fleetRun{offered: len(reqs)}
 	var ttftQ []float64
 	c.Run(func(ev cluster.Event) {
+		if ev.Kind != cluster.EventStep {
+			// Lifecycle records (warming/draining/dead/rerouted) carry
+			// no compute; the counters below read compute phases only.
+			return
+		}
 		if ev.End > r.clockEnd {
 			r.clockEnd = ev.End
 		}

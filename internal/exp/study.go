@@ -153,6 +153,7 @@ func Studies() []Study {
 		openLoopStudy{requests: 10, ratio: 0.25},
 		placementStudy{requests: 8},
 		fleetStudy{requests: 16, replicaCounts: []int{2, 4}, ratio: 0.25},
+		fleetChurnStudy{requests: 24, replicas: 3, ratio: 0.25},
 		precisionStudy{},
 	}
 }
