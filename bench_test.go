@@ -530,6 +530,53 @@ func BenchmarkFleetChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkDisaggHandoff times the disaggregated serving path: a
+// 3-replica fleet split 1:2 into prefill/decode pools, so every request
+// rides the full stage-split machinery — export-mode prefill, priced KV
+// checkpoint transfer over the interconnect, checkpoint-aware decode
+// routing and warm working-set adoption. The custom metric reports
+// simulated goodput including every migration, so a regression in the
+// handoff path (transfers mispriced, adoption stalling dispatch) moves
+// a gated unit even at -benchtime=1x.
+func BenchmarkDisaggHandoff(b *testing.B) {
+	reqs := workload.NewStream(benchFleetSeed, workload.AllDatasets()...).
+		WithArrivals(workload.Poisson(20)).
+		NextN(12)
+	workload.CapDecode(reqs, 6)
+	var completed, handoffs int
+	var clockEnd float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := exp.NewFleet(3, "affinity", benchFleetSeed, 0.25,
+			cluster.WithPools(cluster.PoolSpec{Prefill: 1, Decode: 2}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Submit(reqs...)
+		b.StartTimer()
+		completed, clockEnd = 0, 0
+		c.Run(func(ev cluster.Event) {
+			if ev.Kind != cluster.EventStep {
+				return
+			}
+			if ev.End > clockEnd {
+				clockEnd = ev.End
+			}
+			if ev.Done {
+				completed++
+			}
+		})
+		handoffs = c.Handoffs()
+	}
+	if completed != len(reqs) || handoffs != len(reqs) {
+		b.Fatalf("completed %d, migrated %d of %d requests", completed, handoffs, len(reqs))
+	}
+	if clockEnd > 0 {
+		b.ReportMetric(float64(completed)/clockEnd, "sim-req/s")
+	}
+}
+
 // --- Event-core scale -------------------------------------------------
 
 // BenchmarkMillionRequests drives the raw discrete-event core through an

@@ -32,6 +32,7 @@
 //	-trace-out FILE     record the offered request sequence as a JSONL trace
 //	-replicas N         independent replica stacks served as a fleet (>1 enables routing)
 //	-router NAME        fleet request router: round-robin, least-loaded, power-of-two, affinity
+//	-pools P:D          disaggregated pool split (prefill:decode replicas, handoffs priced)
 package main
 
 import (
@@ -156,6 +157,7 @@ func run(args []string) error {
 		router := fs.String("router", "affinity", "fleet request router: "+strings.Join(cluster.RouterNames(), ", "))
 		fail := fs.String("fail", "", "injected replica failures, e.g. 1@0.3:stall or 0@0.5:death (comma-separated)")
 		scalePlan := fs.String("scale-plan", "", "scheduled fleet resizes, e.g. +1@0.5,-1@1.2 (comma-separated)")
+		pools := fs.String("pools", "", "disaggregated pool split P:D (prefill:decode replicas; prefills hand off over the interconnect)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -170,6 +172,7 @@ func run(args []string) error {
 			sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
 			arrivals: *arrivals, rate: *rate, traceIn: *traceIn, traceOut: *traceOut,
 			replicas: *replicas, router: *router, fail: *fail, scalePlan: *scalePlan,
+			pools: *pools,
 		}
 		return serve(sc)
 
@@ -199,6 +202,7 @@ type serveConfig struct {
 	replicas             int
 	router               string
 	fail, scalePlan      string
+	pools                string
 }
 
 // serveRequests assembles the request sequence for one serve run:
@@ -279,9 +283,9 @@ func serve(sc serveConfig) error {
 			return err
 		}
 	}
-	if sc.replicas > 1 || sc.fail != "" || sc.scalePlan != "" {
-		// Lifecycle knobs only exist at fleet scope; a 1-replica fleet
-		// with churn is still a fleet.
+	if sc.replicas > 1 || sc.fail != "" || sc.scalePlan != "" || sc.pools != "" {
+		// Lifecycle and disaggregation knobs only exist at fleet scope;
+		// a 1-replica fleet with churn is still a fleet.
 		return serveFleet(sc, reqs)
 	}
 	opts := []engine.Option{
@@ -396,6 +400,16 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 	if err != nil {
 		return err
 	}
+	poolSpec, err := cluster.ParsePools(sc.pools)
+	if err != nil {
+		return err
+	}
+	replicas := sc.replicas
+	if n := poolSpec.Prefill + poolSpec.Decode; n > replicas {
+		// -pools P:D implies the fleet size; -replicas may still grow it
+		// (the surplus serves mixed).
+		replicas = n
+	}
 	fw := engine.HybriMoEFramework()
 	if sc.sched != "" {
 		fw.Sched = sc.sched
@@ -407,7 +421,7 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 			engine.WithRequestScheduler(sc.reqSched),
 			engine.WithBatchPolicy(sc.batch, sc.batchBudget),
 		}
-		if i >= sc.replicas {
+		if i >= replicas {
 			// Scale-up replicas join with cold caches: elasticity pays
 			// the re-warm cost instead of pretending warmth.
 			eopts = append(eopts, engine.WithWarmupIters(0))
@@ -415,11 +429,14 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 		return engine.New(sc.cfg, hw.MultiA6000Platform(sc.gpus), fw, eopts...)
 	}
 	opts := []cluster.Option{
-		cluster.WithReplicas(sc.replicas),
+		cluster.WithReplicas(replicas),
 		cluster.WithRouter(sc.router),
 		cluster.WithBuilder(build),
 		cluster.WithSeed(sc.seed),
 		cluster.WithMaxConcurrent(sc.concurrent),
+	}
+	if poolSpec.Pooled() {
+		opts = append(opts, cluster.WithPools(poolSpec))
 	}
 	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
 	if admitting {
@@ -438,7 +455,10 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 	c.Submit(reqs...)
 
 	fmt.Printf("serving %d requests across %d %s replicas (%s routing, %.0f%% cache, ≤%d concurrent each",
-		len(reqs), sc.replicas, sc.cfg.Name, c.RouterName(), sc.ratio*100, sc.concurrent)
+		len(reqs), replicas, sc.cfg.Name, c.RouterName(), sc.ratio*100, sc.concurrent)
+	if poolSpec.Pooled() {
+		fmt.Printf(", %s pools", poolSpec)
+	}
 	if sc.gpus > 1 {
 		fmt.Printf(", %d GPUs via %s", sc.gpus, sc.sched)
 	}
@@ -482,6 +502,10 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 			fmt.Printf("  t=%7.3fs    req %2d RE-ROUTED off dead r%d (arrived %.3fs)\n",
 				ev.End, ev.Request, ev.Replica, ev.Arrival)
 			return
+		case cluster.EventHandoff:
+			fmt.Printf("  t=%7.3fs r%d req %2d HANDOFF landed: %d experts (%d warm), xfer %.4fs\n",
+				ev.End, ev.Replica, ev.Request, ev.Tokens, ev.Hits, ev.Latency)
+			return
 		}
 		switch ev.Phase {
 		case engine.PhasePrefill:
@@ -518,8 +542,17 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 
 	fmt.Printf("\nsteps: %d   routed per replica: %v\n", c.Steps(), c.Routed())
 	for i := 0; i < c.Replicas(); i++ {
-		fmt.Printf("  replica %d: %-8s clock %.3fs, cache hit rate %.1f%%\n",
-			i, c.State(i), c.Engine(i).Clock(), 100*c.Engine(i).Caches().HitRate())
+		role := ""
+		if c.Pools().Pooled() {
+			role = " " + c.Role(i).String()
+		}
+		fmt.Printf("  replica %d: %-8s%s clock %.3fs, cache hit rate %.1f%%\n",
+			i, c.State(i), role, c.Engine(i).Clock(), 100*c.Engine(i).Caches().HitRate())
+	}
+	if c.Handoffs() > 0 {
+		warm, total := c.MigratedExperts()
+		fmt.Printf("disaggregation: %d prefill→decode handoffs, %d/%d migrated experts landed warm\n",
+			c.Handoffs(), warm, total)
 	}
 	if c.Rerouted() > 0 || c.Lost() > 0 {
 		fmt.Printf("churn: %d requests re-routed off dead replicas, %d in-flight lost\n",

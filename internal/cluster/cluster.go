@@ -72,16 +72,26 @@ type fleetRequest struct {
 	req      workload.Request
 	deferred bool // a fleet-level PhaseDeferred event has been emitted
 	rerouted bool // reclaimed from a dead replica, back for re-dispatch
+	handoff  bool // checkpointed export in transit to the decode pool
+	// at is the dispatch-queue stamp: the request's arrival for fresh
+	// and rerouted submissions, the migration-complete instant for
+	// handoffs.
+	at float64
+	// xferStart stamps when a handoff's interconnect transfer began —
+	// the exporting replica's clock at the stage boundary.
+	xferStart float64
 }
 
 // RouteRecord is one dispatch decision, retained when WithRouteLog is
 // configured: which request went to which replica at what fleet time,
-// and whether it was a re-route off a dead replica.
+// and whether it was a re-route off a dead replica or a
+// prefill→decode handoff.
 type RouteRecord struct {
 	Request  int
 	Replica  int
 	At       float64
 	Rerouted bool
+	Handoff  bool
 }
 
 // config collects cluster construction state; Options validate eagerly
@@ -99,6 +109,7 @@ type config struct {
 	failures      []Failure
 	scale         []ScaleEvent
 	routeLog      int
+	pools         PoolSpec
 }
 
 // Option configures a Cluster. Options validate eagerly — a bad value
@@ -285,6 +296,9 @@ type replica struct {
 	eng   *engine.Engine
 	ses   *engine.Session
 	state ReplicaState
+	// role is the replica's disaggregation station (RoleMixed on
+	// unpooled fleets and scale-up joins).
+	role PoolRole
 	// lease is the simulation time of the last heartbeat — renewed on
 	// every step the replica runs, frozen when it stalls.
 	lease   float64
@@ -335,6 +349,13 @@ type Cluster struct {
 	deferred   int
 	rerouted   int
 	lost       int
+	// pools is the disaggregation spec (zero when unpooled); the
+	// migration counters track completed prefill→decode handoffs and
+	// the working-set admission outcome on the receiving replicas.
+	pools           PoolSpec
+	handoffs        int
+	migratedExperts int
+	warmAdmitted    int
 }
 
 // New builds a cluster from functional options. WithBuilder is
@@ -355,6 +376,10 @@ func New(opts ...Option) (*Cluster, error) {
 	}
 	if cfg.build == nil {
 		return nil, fmt.Errorf("cluster: WithBuilder is required")
+	}
+	if cfg.pools.Pooled() && cfg.pools.Prefill+cfg.pools.Decode > cfg.replicas {
+		return nil, fmt.Errorf("cluster: pool spec %v needs %d replicas, fleet has %d",
+			cfg.pools, cfg.pools.Prefill+cfg.pools.Decode, cfg.replicas)
 	}
 	failed := map[int]bool{}
 	for _, f := range cfg.failures {
@@ -405,6 +430,7 @@ func New(opts ...Option) (*Cluster, error) {
 		promptless:    map[int]bool{},
 		routed:        make([]int, cfg.replicas),
 		routeCap:      cfg.routeLog,
+		pools:         cfg.pools,
 	}
 	if cfg.routeLog > 0 {
 		c.routeLog = make([]RouteRecord, 0, cfg.routeLog)
@@ -414,10 +440,20 @@ func New(opts ...Option) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: building replica %d: %w", i, err)
 		}
+		role := cfg.pools.Role(i)
+		if cfg.pools.Pooled() && !eng.Platform().HasInterconnect() {
+			return nil, fmt.Errorf("cluster: pool spec %v prices migrations over Platform.Interconnect, but replica %d's platform %q has none",
+				cfg.pools, i, eng.Platform().Name)
+		}
+		sesOpts := []engine.SessionOption{engine.WithMaxConcurrent(cfg.maxConcurrent)}
+		if role == RolePrefill {
+			sesOpts = append(sesOpts, engine.WithPrefillExport())
+		}
 		c.replicas = append(c.replicas, &replica{
 			eng:   eng,
-			ses:   eng.NewSession(engine.WithMaxConcurrent(cfg.maxConcurrent)),
+			ses:   eng.NewSession(sesOpts...),
 			state: StateServing,
+			role:  role,
 		})
 	}
 	// Failure schedule: the lifeFail stamps are configured; stall
@@ -449,7 +485,7 @@ func (c *Cluster) Submit(reqs ...workload.Request) {
 		if r.PromptTokens <= 0 && r.DecodeTokens <= 0 {
 			continue
 		}
-		c.pending.Push(r.Arrival, &fleetRequest{req: r})
+		c.pending.Push(r.Arrival, &fleetRequest{req: r, at: r.Arrival})
 	}
 }
 
@@ -522,6 +558,26 @@ func (c *Cluster) Lost() int { return c.lost }
 // RouterName reports the dispatch policy steering this cluster.
 func (c *Cluster) RouterName() string { return c.router.Name() }
 
+// Pools reports the fleet's disaggregation spec (the zero spec when the
+// fleet is unpooled).
+func (c *Cluster) Pools() PoolSpec { return c.pools }
+
+// Role reports replica i's pool role.
+func (c *Cluster) Role(i int) PoolRole { return c.replicas[i].role }
+
+// Handoffs reports how many prefill→decode migrations completed —
+// checkpointed requests that crossed the interconnect and were adopted
+// by a decode-pool replica.
+func (c *Cluster) Handoffs() int { return c.handoffs }
+
+// MigratedExperts reports the aggregate working-set migration outcome:
+// total expert references carried by completed handoffs, and how many
+// of them landed warm (already resident or admitted) on the receiving
+// replica's cache.
+func (c *Cluster) MigratedExperts() (warm, total int) {
+	return c.warmAdmitted, c.migratedExperts
+}
+
 // steppable reports whether replica i can run a compute step: alive,
 // not stalled, with work queued.
 func (c *Cluster) steppable(i int) bool {
@@ -547,16 +603,33 @@ func (c *Cluster) frontier() (at float64, ok bool) {
 	return at, ok
 }
 
+// eligible reports whether a replica of the given role may receive this
+// request under the pool spec: fresh prompt-bearing arrivals belong to
+// the prefill (or mixed) pool, while checkpointed handoffs and
+// prompt-less decode-only arrivals belong to the decode (or mixed)
+// pool. Unpooled fleets accept everything everywhere — the historical
+// behaviour.
+func (c *Cluster) eligible(fr *fleetRequest, role PoolRole) bool {
+	if !c.pools.Pooled() {
+		return true
+	}
+	if fr.handoff || fr.req.PromptTokens <= 0 {
+		return role != RolePrefill
+	}
+	return role != RoleDecode
+}
+
 // views assembles the router's snapshot of the dispatch-eligible
 // replicas: every Serving replica's queue depth, clock, lease freshness
 // at fleet time now, and the predicted-expert residency the affinity
-// router scores. A silently stalled replica still appears — nominally
-// Serving, its growing LeaseAge the only tell — which is exactly the
-// trap lease-aware routers exist to dodge.
-func (c *Cluster) views(now float64) []ReplicaView {
+// router scores. Under a pool spec the snapshot holds only the pool the
+// head request belongs to. A silently stalled replica still appears —
+// nominally Serving, its growing LeaseAge the only tell — which is
+// exactly the trap lease-aware routers exist to dodge.
+func (c *Cluster) views(now float64, head *fleetRequest) []ReplicaView {
 	views := make([]ReplicaView, 0, len(c.replicas))
 	for i, r := range c.replicas {
-		if r.state != StateServing {
+		if r.state != StateServing || !c.eligible(head, r.role) {
 			continue
 		}
 		res, pred := r.eng.PredictedResidency()
@@ -572,6 +645,7 @@ func (c *Cluster) views(now float64) []ReplicaView {
 			LeaseAge:  age,
 			Resident:  res,
 			Predicted: pred,
+			HasExpert: r.eng.IsResident,
 		})
 	}
 	return views
@@ -638,20 +712,21 @@ func (c *Cluster) dispatch() {
 		switch {
 		case busy && front > horizon:
 			horizon = front
-		case !busy && head.req.Arrival > horizon:
-			horizon = head.req.Arrival
+		case !busy && head.at > horizon:
+			horizon = head.at
 		}
 		if c.tickLife(horizon) {
 			// The fleet changed shape (stall, death, scale); re-derive
 			// the frontier and the head before routing.
 			continue
 		}
-		if head.req.Arrival > horizon {
+		if head.at > horizon {
 			return
 		}
-		if c.adm != nil && !head.rerouted {
-			// Re-routed requests were admitted once already; the fleet
-			// door does not get a second chance to shed them.
+		if c.adm != nil && !head.rerouted && !head.handoff {
+			// Re-routed requests were admitted once already, and so was
+			// every handoff (on its way into the prefill pool); the
+			// fleet door does not get a second chance to shed them.
 			switch d := c.adm.Decide(head.req, c.snapshot(horizon)); d {
 			case engine.AdmissionShed:
 				c.pending.PopMin()
@@ -681,7 +756,7 @@ func (c *Cluster) dispatch() {
 				// skipped, exactly as in Session.admit.
 			}
 		}
-		views := c.views(horizon)
+		views := c.views(horizon, head)
 		if len(views) == 0 {
 			// Nothing is eligible (everything warming, draining or
 			// dead). Jump the timeline to the next lifecycle action —
@@ -711,11 +786,61 @@ func (c *Cluster) dispatch() {
 		}
 		c.pending.PopMin()
 		c.routed[pick]++
-		c.record(RouteRecord{Request: head.req.ID, Replica: pick, At: horizon, Rerouted: head.rerouted})
+		c.record(RouteRecord{Request: head.req.ID, Replica: pick, At: horizon, Rerouted: head.rerouted, Handoff: head.handoff})
+		if head.handoff {
+			c.adoptHandoff(pick, head)
+			continue
+		}
 		if head.req.PromptTokens <= 0 {
 			c.promptless[head.req.ID] = true
 		}
 		c.replicas[pick].ses.Submit(head.req)
+	}
+}
+
+// adoptHandoff lands a migrated request on decode-pool replica pick:
+// the replica's cache admits the checkpoint's expert working set (warm,
+// through the ordinary placement path, so attribution stays conserved),
+// the session adopts the request decode-only via SubmitPrefilled, and a
+// Handoff event records the migration — Start/End span the interconnect
+// transfer, Tokens counts the working-set references carried, Hits how
+// many of them landed warm. The event's Replica is the destination; the
+// source is the replica whose Migrated prefill event carries the same
+// request ID.
+func (c *Cluster) adoptHandoff(pick int, fr *fleetRequest) {
+	ck := fr.req.Checkpoint
+	r := c.replicas[pick]
+	warm := r.eng.AdoptWorkingSet(ck.Experts)
+	c.handoffs++
+	c.migratedExperts += len(ck.Experts)
+	c.warmAdmitted += warm
+	c.queue = append(c.queue, Event{Replica: pick, Kind: EventHandoff, StepEvent: engine.StepEvent{
+		Request: fr.req.ID,
+		Start:   fr.xferStart, End: ck.ReadyAt,
+		Latency: ck.ReadyAt - fr.xferStart,
+		Tokens:  len(ck.Experts), Hits: int64(warm),
+		Deadline: fr.req.Deadline, Arrival: fr.req.Arrival, Class: fr.req.Class,
+	}})
+	r.ses.SubmitPrefilled(fr.req)
+}
+
+// exportPrefilled drains replica i's just-checkpointed requests onto the
+// migration timeline (a no-op off the prefill pool): each pays the
+// platform interconnect's transfer time for its checkpoint bytes and
+// re-enters the dispatch queue at the completion stamp, where the
+// decode pool's router places it.
+func (c *Cluster) exportPrefilled(i int) {
+	r := c.replicas[i]
+	if r.role != RolePrefill {
+		return
+	}
+	for _, req := range r.ses.ExportPrefilled() {
+		at := r.eng.Clock()
+		xfer := r.eng.Platform().Interconnect.TransferTime(req.Checkpoint.MigrationBytes())
+		req.Checkpoint.ReadyAt = at + xfer
+		c.pending.Push(req.Checkpoint.ReadyAt, &fleetRequest{
+			req: req, handoff: true, at: req.Checkpoint.ReadyAt, xferStart: at,
+		})
 	}
 }
 
@@ -787,6 +912,7 @@ func (c *Cluster) Step() (ev Event, ok bool) {
 			}
 			r.lease = r.eng.Clock()
 			c.observe(sev)
+			c.exportPrefilled(pick)
 			c.retireDrained(pick)
 			c.steps++
 			return Event{Replica: pick, StepEvent: sev}, true

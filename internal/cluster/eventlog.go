@@ -30,6 +30,13 @@ const (
 	// from a dead replica back into the dispatch queue with its
 	// original arrival stamp; Replica names the replica it left.
 	EventRerouted EventKind = "rerouted"
+	// EventHandoff records one checkpointed request's prefill→decode
+	// migration landing: Replica is the receiving decode replica,
+	// Start/End span the interconnect transfer, Tokens counts the
+	// expert working-set references carried and Hits how many of them
+	// were admitted warm. The exporting replica is the one whose
+	// Migrated prefill event carries the same request ID.
+	EventHandoff EventKind = "handoff"
 )
 
 // WriteEventLog serialises a fleet Event stream as JSONL — one JSON

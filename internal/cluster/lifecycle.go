@@ -169,11 +169,16 @@ func (c *Cluster) kill(i int, at float64) {
 	}})
 	for _, req := range reclaimed {
 		c.rerouted++
+		// A reclaimed checkpoint's KV state died with the replica: the
+		// request must re-prefill from scratch, so it re-enters the
+		// dispatch queue as a fresh prompt-bearing arrival (and routes
+		// back through the prefill pool when the fleet is disaggregated).
+		req.Checkpoint = nil
 		c.queue = append(c.queue, Event{Replica: i, Kind: EventRerouted, StepEvent: engine.StepEvent{
 			Request: req.ID, Start: at, End: at,
 			Deadline: req.Deadline, Arrival: req.Arrival, Class: req.Class,
 		}})
-		c.pending.Push(req.Arrival, &fleetRequest{req: req, rerouted: true})
+		c.pending.Push(req.Arrival, &fleetRequest{req: req, rerouted: true, at: req.Arrival})
 	}
 }
 

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PoolRole is a replica's station in a disaggregated fleet: prefill
+// replicas run prompt forwards and export checkpointed requests at the
+// stage boundary, decode replicas adopt migrated requests and generate
+// tokens, and mixed replicas — every replica of an unpooled fleet —
+// serve whole request lives the historical way.
+type PoolRole int
+
+// Pool roles. RoleMixed is the zero value so unpooled fleets need no
+// configuration at all.
+const (
+	RoleMixed PoolRole = iota
+	RolePrefill
+	RoleDecode
+)
+
+// String returns the role name event logs and CLI summaries use.
+func (r PoolRole) String() string {
+	switch r {
+	case RoleMixed:
+		return "mixed"
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("PoolRole(%d)", int(r))
+	}
+}
+
+// PoolSpec partitions a fleet into disaggregated serving pools by
+// replica index: replicas [0, Prefill) take the prefill role, replicas
+// [Prefill, Prefill+Decode) the decode role, and any further replicas —
+// including ones a scale plan adds mid-run — stay mixed (they accept
+// both fresh arrivals and handoffs, the elastic overflow pool). The
+// zero value configures no pools: every replica is mixed and the fleet
+// behaves exactly as before the roles existed.
+type PoolSpec struct {
+	Prefill int
+	Decode  int
+}
+
+// Pooled reports whether the spec actually partitions the fleet.
+func (s PoolSpec) Pooled() bool { return s.Prefill > 0 || s.Decode > 0 }
+
+// Role reports the role replica i serves under this spec.
+func (s PoolSpec) Role(i int) PoolRole {
+	switch {
+	case !s.Pooled():
+		return RoleMixed
+	case i < s.Prefill:
+		return RolePrefill
+	case i < s.Prefill+s.Decode:
+		return RoleDecode
+	default:
+		return RoleMixed
+	}
+}
+
+// String renders "P:D" ("mixed" for the zero spec), the CLI flag syntax
+// ParsePools reads back.
+func (s PoolSpec) String() string {
+	if !s.Pooled() {
+		return "mixed"
+	}
+	return fmt.Sprintf("%d:%d", s.Prefill, s.Decode)
+}
+
+// validate rejects specs no fleet could serve: negative pool sizes, or
+// one stage pooled without the other (a prefill pool with nowhere to
+// hand off to, or a decode pool nothing feeds).
+func (s PoolSpec) validate() error {
+	if s.Prefill < 0 || s.Decode < 0 {
+		return fmt.Errorf("cluster: pool spec %d:%d has a negative pool", s.Prefill, s.Decode)
+	}
+	if s.Pooled() && (s.Prefill == 0 || s.Decode == 0) {
+		return fmt.Errorf("cluster: pool spec %d:%d needs both a prefill and a decode pool", s.Prefill, s.Decode)
+	}
+	return nil
+}
+
+// WithPools partitions the fleet into disaggregated prefill/decode
+// pools per spec. Fresh prompt-bearing arrivals route within the
+// prefill pool (whose sessions run in prefill-export mode); at each
+// export the cluster prices the checkpoint's bytes over the platform's
+// Interconnect, emits a Handoff event, and routes the request within
+// the decode pool once the transfer lands. New validates the spec
+// against the fleet size and requires every replica platform to model
+// an Interconnect. The zero spec is a no-op (fully mixed fleet).
+func WithPools(spec PoolSpec) Option {
+	return func(c *config) error {
+		if err := spec.validate(); err != nil {
+			return err
+		}
+		c.pools = spec
+		return nil
+	}
+}
+
+// ParsePools parses the CLI pool syntax "P:D" (e.g. "1:2" — one prefill
+// replica, two decode replicas). The empty string means no pools.
+func ParsePools(spec string) (PoolSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return PoolSpec{}, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 2 {
+		return PoolSpec{}, fmt.Errorf("cluster: pool spec %q is not P:D", spec)
+	}
+	p, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return PoolSpec{}, fmt.Errorf("cluster: pool spec %q: bad prefill count: %v", spec, err)
+	}
+	d, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return PoolSpec{}, fmt.Errorf("cluster: pool spec %q: bad decode count: %v", spec, err)
+	}
+	out := PoolSpec{Prefill: p, Decode: d}
+	if err := out.validate(); err != nil {
+		return PoolSpec{}, err
+	}
+	if !out.Pooled() {
+		return PoolSpec{}, fmt.Errorf("cluster: pool spec %q configures empty pools", spec)
+	}
+	return out, nil
+}

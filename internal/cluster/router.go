@@ -41,6 +41,11 @@ type ReplicaView struct {
 	// predicted expert set on that replica and the experts the replica
 	// already holds.
 	Resident, Predicted int
+	// HasExpert probes whether a specific expert is resident on the
+	// replica (Engine.IsResident) — the per-request affinity signal
+	// checkpoint-aware routers score migrating requests' working sets
+	// against. Nil in hand-built test views; routers must tolerate that.
+	HasExpert func(layer, index int) bool
 }
 
 // readiness is the affinity score: predicted-expert residency fraction.
@@ -208,8 +213,26 @@ func (a *Affinity) suspect(v ReplicaView) bool {
 	return a.StaleTolerance > 0 && v.LeaseAge > a.StaleTolerance
 }
 
+// readinessFor scores a view's cache readiness for this specific
+// request. A migrating checkpointed request carries its own working set,
+// so its readiness is the fraction of the checkpoint's experts already
+// resident on the replica (probed through HasExpert); everything else
+// falls back to the replica's own predicted-residency fraction.
+func (a *Affinity) readinessFor(req workload.Request, v ReplicaView) float64 {
+	if ck := req.Checkpoint; ck != nil && len(ck.Experts) > 0 && v.HasExpert != nil {
+		resident := 0
+		for _, x := range ck.Experts {
+			if v.HasExpert(x.Layer, x.Index) {
+				resident++
+			}
+		}
+		return float64(resident) / float64(len(ck.Experts))
+	}
+	return v.readiness()
+}
+
 // Pick implements Router.
-func (a *Affinity) Pick(_ workload.Request, views []ReplicaView) int {
+func (a *Affinity) Pick(req workload.Request, views []ReplicaView) int {
 	// Lease-awareness: prefer fresh views; if every lease is stale the
 	// filter yields nothing and the full set stays in play (a wrong
 	// guess beats a stranded request).
@@ -237,7 +260,7 @@ func (a *Affinity) Pick(_ workload.Request, views []ReplicaView) int {
 		if v.Pending > minPending+a.cap() {
 			continue
 		}
-		score := v.Clock - a.discount()*v.readiness()
+		score := v.Clock - a.discount()*a.readinessFor(req, v)
 		if best < 0 || score < bestScore {
 			best, bestScore = v.Index, score
 		}

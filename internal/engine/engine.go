@@ -12,6 +12,7 @@ import (
 	"hybrimoe/internal/sim"
 	"hybrimoe/internal/tensor"
 	"hybrimoe/internal/trace"
+	"hybrimoe/internal/workload"
 )
 
 // Engine simulates one framework serving one model on one platform.
@@ -590,6 +591,80 @@ func (e *Engine) PredictedResidency() (resident, predicted int) {
 	}
 	return resident, predicted
 }
+
+// residentWorkingSet snapshots the predicted expert working set that is
+// resident right now — the same lookahead-1 top-k per layer
+// PredictedResidency counts, materialised as serializable refs. It is
+// what a prefill checkpoint carries across a replica handoff: the
+// affinity and warm-admission hint for the adopting side. Pure, like
+// PredictedResidency.
+func (e *Engine) residentWorkingSet() []workload.ExpertRef {
+	var refs []workload.ExpertRef
+	for l := 0; l < e.cfg.Layers; l++ {
+		scores := e.gen.PredictedScores(l, 1)
+		f32 := make([]float32, len(scores))
+		for i, v := range scores {
+			f32[i] = float32(v)
+		}
+		for _, x := range tensor.TopK(f32, e.cfg.ActivatedExperts) {
+			if e.isCached(moe.ExpertID{Layer: l, Index: x}) {
+				refs = append(refs, workload.ExpertRef{Layer: l, Index: x})
+			}
+		}
+	}
+	return refs
+}
+
+// IsResident reports whether one expert (by grid position) is resident
+// in the cache this engine's placement can use — the per-expert probe
+// checkpoint-aware affinity routing scores migrating requests with.
+// Out-of-range positions are simply not resident.
+func (e *Engine) IsResident(layer, index int) bool {
+	if layer < 0 || layer >= e.cfg.Layers || index < 0 || index >= e.cfg.RoutedExperts {
+		return false
+	}
+	return e.isCached(moe.ExpertID{Layer: layer, Index: index})
+}
+
+// AdoptWorkingSet admits a migrated request's expert working set into
+// this engine's cache — the warm-not-cold handoff: the decode replica
+// stages the checkpoint's predicted experts (from its own host copy,
+// concurrent with the KV transfer the interconnect prices) so the
+// request's first decode steps hit instead of faulting. Inserts go
+// through the normal placement path with nothing protected, so a full
+// shard of protected residents simply declines. It reports how many of
+// the refs ended up resident (already-present ones count — they are
+// warm, which is what the caller is asking). Layer-mapped frameworks
+// have static residency and adopt nothing.
+func (e *Engine) AdoptWorkingSet(experts []workload.ExpertRef) (warm int) {
+	if e.fw.LayerMapped {
+		for _, ref := range experts {
+			if e.IsResident(ref.Layer, ref.Index) {
+				warm++
+			}
+		}
+		return warm
+	}
+	unprotected := func(moe.ExpertID) bool { return false }
+	for _, ref := range experts {
+		if ref.Layer < 0 || ref.Layer >= e.cfg.Layers || ref.Index < 0 || ref.Index >= e.cfg.RoutedExperts {
+			continue
+		}
+		id := moe.ExpertID{Layer: ref.Layer, Index: ref.Index}
+		if e.isCached(id) {
+			warm++
+			continue
+		}
+		if _, ok := e.placeCache.Insert(id, e.homeDevice(id).GPUIndex(), unprotected); ok {
+			warm++
+		}
+	}
+	return warm
+}
+
+// Platform exposes the hardware model this engine runs on — the fleet
+// layer reads its Interconnect to price replica-to-replica migration.
+func (e *Engine) Platform() *hw.Platform { return e.platform }
 
 // Cache exposes GPU0's expert-cache shard — the whole cache on
 // single-GPU platforms. Multi-GPU analysis goes through Caches.

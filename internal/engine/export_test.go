@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"testing"
+
+	"hybrimoe/internal/workload"
+)
+
+// TestSessionPrefillExportRoundTrip pins the stage-split contract: an
+// export-mode session runs prefills only, marking each prefill event
+// Migrated (never Done, never decoding), and parks the checkpointed
+// requests for ExportPrefilled; a second session adopts them via
+// SubmitPrefilled and serves exactly the decode tokens, never
+// re-prefilling.
+func TestSessionPrefillExportRoundTrip(t *testing.T) {
+	src := reclaimEngine(t).NewSession(WithPrefillExport())
+	reqs := []workload.Request{
+		{ID: 0, PromptTokens: 64, DecodeTokens: 3, Arrival: 0.01},
+		{ID: 1, PromptTokens: 32, DecodeTokens: 2, Arrival: 0.02},
+	}
+	src.Submit(reqs...)
+	migrated := 0
+	src.Run(func(ev StepEvent) {
+		switch ev.Phase {
+		case PhasePrefill:
+			if !ev.Migrated {
+				t.Fatalf("export-mode prefill not marked Migrated: %+v", ev)
+			}
+			if ev.Done {
+				t.Fatalf("migrated prefill marked Done: %+v", ev)
+			}
+			migrated++
+		case PhaseDecode:
+			t.Fatalf("export-mode session decoded: %+v", ev)
+		}
+	})
+	if migrated != len(reqs) {
+		t.Fatalf("%d Migrated prefill events, want %d", migrated, len(reqs))
+	}
+	if got := src.Pending(); got != len(reqs) {
+		t.Fatalf("Pending() = %d with %d undrained exports", got, len(reqs))
+	}
+
+	exported := src.ExportPrefilled()
+	if len(exported) != len(reqs) {
+		t.Fatalf("exported %d requests, want %d", len(exported), len(reqs))
+	}
+	for i, r := range exported {
+		ck := r.Checkpoint
+		if ck == nil {
+			t.Fatalf("exported request %d has no checkpoint", r.ID)
+		}
+		if ck.PromptConsumed != reqs[i].PromptTokens || ck.Context != reqs[i].PromptTokens {
+			t.Fatalf("request %d checkpoint consumed/context = %d/%d, want %d",
+				r.ID, ck.PromptConsumed, ck.Context, reqs[i].PromptTokens)
+		}
+		if ck.KVBytes <= 0 {
+			t.Fatalf("request %d checkpoint carries no KV bytes", r.ID)
+		}
+		if len(ck.Experts) == 0 {
+			t.Fatalf("request %d checkpoint carries no working set", r.ID)
+		}
+		if ck.TTFT <= 0 {
+			t.Fatalf("request %d checkpoint TTFT = %g, want positive", r.ID, ck.TTFT)
+		}
+		if err := ck.Validate(); err != nil {
+			t.Fatalf("exported checkpoint invalid: %v", err)
+		}
+	}
+	if src.Pending() != 0 {
+		t.Fatalf("Pending() = %d after the export drain", src.Pending())
+	}
+	if again := src.ExportPrefilled(); again != nil {
+		t.Fatalf("second drain returned %d requests", len(again))
+	}
+
+	dst := reclaimEngine(t).NewSession()
+	dst.SubmitPrefilled(exported...)
+	decodes := map[int]int{}
+	done := map[int]bool{}
+	dst.Run(func(ev StepEvent) {
+		switch ev.Phase {
+		case PhasePrefill:
+			t.Fatalf("adopted request prefilled again: %+v", ev)
+		case PhaseDecode:
+			decodes[ev.Request]++
+			if ev.Done {
+				done[ev.Request] = true
+			}
+		}
+	})
+	for _, r := range exported {
+		if decodes[r.ID] != r.DecodeTokens {
+			t.Fatalf("request %d ran %d decode steps, want %d", r.ID, decodes[r.ID], r.DecodeTokens)
+		}
+		if !done[r.ID] {
+			t.Fatalf("adopted request %d never completed", r.ID)
+		}
+	}
+	if dst.Pending() != 0 {
+		t.Fatalf("%d pending after the adopting session drained", dst.Pending())
+	}
+}
+
+// TestSessionReclaimExported pins the lifecycle corner the fleet's kill
+// path rides: a checkpointed-but-unmigrated export is returned by
+// Reclaim with its Checkpoint attached, in submission order alongside
+// fresh unstarted requests, while a partially-prefilled in-flight
+// request stays and finishes.
+func TestSessionReclaimExported(t *testing.T) {
+	s := reclaimEngine(t).NewSession(WithPrefillExport())
+	s.Submit(
+		workload.Request{ID: 0, PromptTokens: 32, DecodeTokens: 2},
+		workload.Request{ID: 1, PromptTokens: 16, DecodeTokens: 2},
+	)
+	if _, ok := s.Step(); !ok {
+		t.Fatal("session refused its first step")
+	}
+	got := s.Reclaim()
+	if len(got) != 2 {
+		t.Fatalf("reclaimed %d requests, want 2", len(got))
+	}
+	if got[0].ID != 0 || got[0].Checkpoint == nil {
+		t.Fatalf("reclaimed[0] = %+v, want exported request 0 with checkpoint", got[0])
+	}
+	if got[0].Checkpoint.Context != 32 {
+		t.Fatalf("reclaimed checkpoint context = %d, want 32", got[0].Checkpoint.Context)
+	}
+	if got[1].ID != 1 || got[1].Checkpoint != nil {
+		t.Fatalf("reclaimed[1] = %+v, want unstarted request 1 without checkpoint", got[1])
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after full reclaim", s.Pending())
+	}
+}
+
+// TestSessionReclaimAdopted pins the other half of the kill corner: an
+// adopted request that has not started its decode comes back from
+// Reclaim with its Checkpoint intact (the caller decides whether the KV
+// state is still reachable), while one mid-decode stays in flight.
+func TestSessionReclaimAdopted(t *testing.T) {
+	src := reclaimEngine(t).NewSession(WithPrefillExport())
+	src.Submit(
+		workload.Request{ID: 0, PromptTokens: 32, DecodeTokens: 2},
+		workload.Request{ID: 1, PromptTokens: 16, DecodeTokens: 2},
+	)
+	src.Run(nil)
+	exported := src.ExportPrefilled()
+	if len(exported) != 2 {
+		t.Fatalf("exported %d requests, want 2", len(exported))
+	}
+
+	dst := reclaimEngine(t).NewSession(WithMaxConcurrent(1))
+	dst.SubmitPrefilled(exported...)
+	if _, ok := dst.Step(); !ok {
+		t.Fatal("adopting session refused its first step")
+	}
+	got := dst.Reclaim()
+	if len(got) != 1 {
+		t.Fatalf("reclaimed %d adopted requests, want the 1 unstarted", len(got))
+	}
+	if got[0].ID != 1 || got[0].Checkpoint == nil {
+		t.Fatalf("reclaimed[0] = %+v, want request 1 with checkpoint intact", got[0])
+	}
+	done := map[int]bool{}
+	dst.Run(func(ev StepEvent) {
+		if ev.Done {
+			done[ev.Request] = true
+		}
+	})
+	if len(done) != 1 || !done[0] {
+		t.Fatalf("post-reclaim completions %v, want exactly request 0", done)
+	}
+}
+
+// TestSubmitPrefilledRejectsCheckpointless pins the misuse panic.
+func TestSubmitPrefilledRejectsCheckpointless(t *testing.T) {
+	s := reclaimEngine(t).NewSession()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubmitPrefilled without a checkpoint did not panic")
+		}
+	}()
+	s.SubmitPrefilled(workload.Request{ID: 0, PromptTokens: 16, DecodeTokens: 2})
+}

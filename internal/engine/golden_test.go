@@ -47,6 +47,29 @@ func goldenScenarios() []goldenScenario {
 				return events
 			},
 		},
+		{
+			// The heterogeneous-mix scenario the disaggregation work
+			// motivates: long-document prefill-heavy requests interleaved
+			// with chat decode-heavy ones through one continuously-batched
+			// session, pinning exactly the prefill-behind-decode
+			// interference pattern pool splitting removes.
+			name: "hetero-mix",
+			run: func(t *testing.T) []StepEvent {
+				e := newEngineOpts(t, 510, WithBatchPolicy("greedy", 64))
+				s := e.NewSession(WithMaxConcurrent(3))
+				s.Submit(
+					workload.Request{ID: 0, PromptTokens: 1200, DecodeTokens: 3, Arrival: 0.00, Class: "longdoc"},
+					workload.Request{ID: 1, PromptTokens: 32, DecodeTokens: 12, Arrival: 0.01, Class: "chat"},
+					workload.Request{ID: 2, PromptTokens: 24, DecodeTokens: 10, Arrival: 0.02, Class: "chat"},
+					workload.Request{ID: 3, PromptTokens: 900, DecodeTokens: 3, Arrival: 0.05, Class: "longdoc"},
+					workload.Request{ID: 4, PromptTokens: 48, DecodeTokens: 12, Arrival: 0.06, Class: "chat"},
+					workload.Request{ID: 5, PromptTokens: 28, DecodeTokens: 10, Arrival: 0.30, Class: "chat"},
+				)
+				var events []StepEvent
+				s.Run(func(ev StepEvent) { events = append(events, ev) })
+				return events
+			},
+		},
 	}
 }
 

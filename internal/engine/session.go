@@ -113,10 +113,29 @@ type StepEvent struct {
 	BatchSize int
 	// Done marks the request's final step (or its shed record).
 	Done bool
+	// Migrated marks a prefill event whose request left this session at
+	// the stage boundary instead of decoding here (prefill-export mode,
+	// see ExportPrefilled): not Done — the decode steps happen on the
+	// adopting replica — but final as far as this session is concerned,
+	// so attribution stays exactly conserved across the handoff. Always
+	// false outside export mode, keeping existing streams byte-identical.
+	Migrated bool `json:",omitempty"`
 }
 
 // SessionOption configures a Session.
 type SessionOption func(*Session)
+
+// WithPrefillExport puts the session in prefill-export mode, the
+// prefill half of a disaggregated deployment: a request's prefill runs
+// here as usual (its event carries the Migrated marker), but instead of
+// decoding, the request is checkpointed — prompt consumed, context
+// length, KV bytes, the predicted expert working set resident at export
+// — and parked for ExportPrefilled to drain. Requests with no decode
+// work complete normally; the mode only splits lives that have a
+// decode half to hand off.
+func WithPrefillExport() SessionOption {
+	return func(s *Session) { s.exportPrefill = true }
+}
 
 // WithMaxConcurrent admits up to n requests at once; their prefill and
 // decode steps interleave in the order the engine's request scheduler
@@ -141,6 +160,8 @@ type sessionRequest struct {
 	submitSeq int  // submission order, the arrived queue's sort key
 	deferred  bool // a PhaseDeferred event has been emitted
 	started   bool // the first compute step has run (queue wait stamped)
+	migrated  bool // prefill exported; the request left this session
+	adopted   bool // entered via SubmitPrefilled (TTFT already stamped)
 }
 
 func (r *sessionRequest) done() bool {
@@ -217,6 +238,13 @@ type Session struct {
 	ttfts, tbts report.Live
 	shed        int
 	deferred    int
+	// exportPrefill marks the prefill half of a disaggregated pair; see
+	// WithPrefillExport.
+	exportPrefill bool
+	// exported parks checkpointed requests between their Migrated
+	// prefill event and the ExportPrefilled drain; they still count as
+	// Pending (the request is in this session until the caller takes it).
+	exported []*sessionRequest
 	// Reused scratch buffers: the allocation-lean Step path. view backs
 	// schedView's projection, busyPrev the per-step device-frontier
 	// snapshots, seen checkBatch's duplicate check; none escape a Step.
@@ -271,10 +299,58 @@ func (s *Session) Submit(reqs ...workload.Request) {
 	}
 }
 
+// SubmitPrefilled adopts checkpointed requests mid-life: each entered
+// some other session, ran its prefill there, and arrives here carrying
+// the exported Checkpoint. The request joins the timeline decode-only —
+// prefill marked complete, context warm at the checkpoint's length, no
+// fresh queue wait or TTFT stamp (the prefill replica already accrued
+// both) — at the later of its Arrival and the checkpoint's ReadyAt
+// (when the migrated state finishes arriving). Requests without a
+// checkpoint panic; ones with no decode work are dropped like Submit's
+// zero-work case.
+func (s *Session) SubmitPrefilled(reqs ...workload.Request) {
+	for _, r := range reqs {
+		if r.Checkpoint == nil {
+			panic(fmt.Sprintf("engine: SubmitPrefilled(request %d) without a checkpoint", r.ID))
+		}
+		if r.DecodeTokens <= 0 {
+			continue
+		}
+		sr := &sessionRequest{req: r, prefilled: true, adopted: true, submitSeq: s.nextSubmit}
+		s.nextSubmit++
+		s.future++
+		at := r.Arrival
+		if r.Checkpoint.ReadyAt > at {
+			at = r.Checkpoint.ReadyAt
+		}
+		s.events.Push(at, sessionEvent{kind: evArrival, req: sr})
+	}
+}
+
+// ExportPrefilled drains and returns the requests whose prefill
+// completed since the last drain (export mode only; nil otherwise) —
+// each carrying its Checkpoint, ready for another session to adopt via
+// SubmitPrefilled. Until drained they count as Pending and Reclaim
+// returns them like any other undelivered work.
+func (s *Session) ExportPrefilled() []workload.Request {
+	if len(s.exported) == 0 {
+		return nil
+	}
+	out := make([]workload.Request, len(s.exported))
+	for i, r := range s.exported {
+		out[i] = r.req
+	}
+	s.exported = nil
+	return out
+}
+
 // Pending reports how many submitted requests have not yet finished —
-// requests still waiting on their arrival included, shed and zero-work
-// submissions (dropped at Submit) not.
-func (s *Session) Pending() int { return s.future + len(s.arrived) + len(s.active) }
+// requests still waiting on their arrival included, exported
+// checkpoints not yet drained included, shed and zero-work submissions
+// (dropped at Submit) not.
+func (s *Session) Pending() int {
+	return s.future + len(s.arrived) + len(s.active) + len(s.exported)
+}
 
 // Reclaim removes and returns every submitted request that has not yet
 // run a compute step — scheduled arrivals still on the timeline, the
@@ -329,6 +405,15 @@ func (s *Session) Reclaim() []workload.Request {
 		out = append(out, taken{r.submitSeq, r.req})
 	}
 	s.arrived = s.arrived[:0]
+
+	// Checkpointed-but-unmigrated exports: their prefill ran here, but
+	// the checkpoint never left the session, so the caller re-owns them
+	// (Checkpoint attached — the prefill work is not lost, only the
+	// migration never happened).
+	for _, r := range s.exported {
+		out = append(out, taken{r.submitSeq, r.req})
+	}
+	s.exported = nil
 
 	// Admitted requests the scheduler never stepped.
 	remaining := s.active[:0]
@@ -687,6 +772,10 @@ func (s *Session) stepSolo(idx int) StepEvent {
 			// not just the forward's cost.
 			s.ttfts.Add(ev.Queued + ev.Latency)
 		}
+		if s.exportPrefill && r.req.DecodeTokens > 0 {
+			ev.Migrated = true
+			s.export(r, ev.Queued+ev.Latency)
+		}
 	} else {
 		ev.Phase = PhaseDecode
 		ev.Index = r.decoded
@@ -712,13 +801,32 @@ func (s *Session) stepSolo(idx int) StepEvent {
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
 	s.notePrefetchHorizon()
 
-	if ev.Done {
+	if ev.Done || r.migrated {
 		s.active = append(s.active[:idx], s.active[idx+1:]...)
 		s.sched.Stepped(idx, []int{idx})
 	} else {
 		s.sched.Stepped(idx, nil)
 	}
 	return ev
+}
+
+// export checkpoints a just-prefilled request and parks it for
+// ExportPrefilled: the serializable decode-side state — prompt
+// consumed, context, the KV bytes that must migrate, and the predicted
+// expert working set resident on this engine right now (the affinity
+// and warm-admission hint; the weights themselves are replicated).
+// ttft is the queue-inclusive time-to-first-token the prefill accrued,
+// recorded so the adopting session never re-stamps it.
+func (s *Session) export(r *sessionRequest, ttft float64) {
+	r.migrated = true
+	r.req.Checkpoint = &workload.Checkpoint{
+		PromptConsumed: r.req.PromptTokens,
+		Context:        r.req.PromptTokens,
+		KVBytes:        s.e.cfg.KVBytes(r.req.PromptTokens),
+		Experts:        s.e.residentWorkingSet(),
+		TTFT:           ttft,
+	}
+	s.exported = append(s.exported, r)
 }
 
 // addDecodeOnlyTTFT folds a prompt-less request's first token into the
@@ -742,7 +850,10 @@ func (s *Session) queueWait(r *sessionRequest, start float64) float64 {
 		return 0
 	}
 	r.started = true
-	if r.req.Arrival <= 0 {
+	// Adopted requests already paid their queue wait on the prefill
+	// replica (the checkpoint's TTFT carries it); re-stamping would
+	// double-count the wait across the handoff.
+	if r.adopted || r.req.Arrival <= 0 {
 		return 0
 	}
 	return maxF(0, start-r.req.Arrival)
@@ -854,6 +965,10 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 				// Queue-inclusive TTFT, as in the solo path.
 				s.ttfts.Add(ev.Queued + latency)
 			}
+			if s.exportPrefill && r.req.DecodeTokens > 0 {
+				ev.Migrated = true
+				s.export(r, ev.Queued+latency)
+			}
 		} else {
 			ev.Phase = PhaseDecode
 			ev.Index = r.decoded
@@ -871,7 +986,7 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 	var removed []int
 	remaining := s.active[:0]
 	for i, r := range s.active {
-		if r.done() {
+		if r.done() || r.migrated {
 			removed = append(removed, i)
 			continue
 		}
@@ -902,6 +1017,12 @@ func busyDeltas(cur, prev []float64) ([]float64, float64) {
 // step: the prompt plus tokens generated so far, or the engine's
 // configured default for decode-only bursts (the Run* wrappers).
 func (s *Session) contextFor(r *sessionRequest) int {
+	if r.adopted && r.req.Checkpoint != nil {
+		// The checkpoint's context is authoritative for adopted
+		// requests: the prefill happened elsewhere, possibly over a
+		// different prompt accounting than PromptTokens suggests.
+		return r.req.Checkpoint.Context + r.decoded
+	}
 	if r.req.PromptTokens <= 0 {
 		return s.e.set.context
 	}

@@ -21,6 +21,26 @@ type fleetRun struct {
 	clockEnd                 float64
 	ttftQ                    report.LatencyStats
 	routed                   []int
+	// pools echoes the fleet's disaggregation spec (zero when unpooled)
+	// so renders can break the dispatch spread down per pool.
+	pools cluster.PoolSpec
+}
+
+// perPool renders the dispatch spread summed per pool role, the
+// breakdown pooled study rows append.
+func (r fleetRun) perPool() string {
+	var p, d, m int
+	for i, n := range r.routed {
+		switch r.pools.Role(i) {
+		case cluster.RolePrefill:
+			p += n
+		case cluster.RoleDecode:
+			d += n
+		default:
+			m += n
+		}
+	}
+	return fmt.Sprintf("P:%d D:%d M:%d", p, d, m)
 }
 
 func (r fleetRun) shedFraction() float64 {
@@ -70,13 +90,15 @@ func NewFleet(n int, routerName string, seed uint64, ratio float64,
 }
 
 // driveFleet serves reqs through a fresh n-replica fleet under the
-// named router and optional fleet-level admission policy.
+// named router, optional fleet-level admission policy, and any further
+// cluster options (pool specs, lifecycle knobs).
 func driveFleet(p Params, ratio float64, n int, routerName string,
-	reqs []workload.Request, adm engine.AdmissionPolicy) fleetRun {
+	reqs []workload.Request, adm engine.AdmissionPolicy, extra ...cluster.Option) fleetRun {
 	var opts []cluster.Option
 	if adm != nil {
 		opts = append(opts, cluster.WithAdmission(adm))
 	}
+	opts = append(opts, extra...)
 	c, err := NewFleet(n, routerName, p.Seed, ratio, opts...)
 	if err != nil {
 		panic(err)
@@ -109,6 +131,7 @@ func driveFleet(p Params, ratio float64, n int, routerName string,
 	})
 	r.ttftQ = report.Latencies(ttftQ)
 	r.routed = c.Routed()
+	r.pools = c.Pools()
 	return r
 }
 
@@ -161,11 +184,23 @@ func FleetStudy(p Params, requests int, replicaCounts []int, ratio float64) *rep
 // single-replica calibration runs serially in Cells, then one cell per
 // replicas × rate × router point. Each (replicas, rate) pair draws its
 // request stream once, shared read-only across that pair's router
-// cells.
+// cells. A pool spec (optional — the registry default is unpooled and
+// renders exactly the historical table) splits every swept fleet into
+// disaggregated pools and appends a per-pool dispatch-spread column.
 type fleetStudy struct {
 	requests      int
 	replicaCounts []int
 	ratio         float64
+	pools         cluster.PoolSpec
+}
+
+// poolOpts converts the study's pool spec into cluster options (none
+// when unpooled).
+func poolOpts(spec cluster.PoolSpec) []cluster.Option {
+	if !spec.Pooled() {
+		return nil
+	}
+	return []cluster.Option{cluster.WithPools(spec)}
 }
 
 func (fleetStudy) ID() string       { return "fleet" }
@@ -187,9 +222,13 @@ func (s fleetStudy) Cells(p Params) []Cell {
 				cells = append(cells, Cell{
 					Label: fmt.Sprintf("fleet/%dx/%s/%.3g", n, routerName, rate),
 					Run: func() []Row {
-						r := driveFleet(p, s.ratio, n, routerName, reqs, adm())
-						return []Row{{n, routerName, rate, r.completed, r.shedFraction(),
-							r.goodput(), r.ttftQ.P95, r.clockEnd, fmt.Sprint(r.routed)}}
+						r := driveFleet(p, s.ratio, n, routerName, reqs, adm(), poolOpts(s.pools)...)
+						row := Row{n, routerName, rate, r.completed, r.shedFraction(),
+							r.goodput(), r.ttftQ.P95, r.clockEnd, fmt.Sprint(r.routed)}
+						if s.pools.Pooled() {
+							row = append(row, r.perPool())
+						}
+						return []Row{row}
 					},
 				})
 			}
@@ -198,8 +237,12 @@ func (s fleetStudy) Cells(p Params) []Cell {
 	return cells
 }
 
-func (fleetStudy) Render(_ Params, results [][]Row) Renderable {
+func (s fleetStudy) Render(_ Params, results [][]Row) Renderable {
+	cols := []string{"replicas", "router", "rate(req/s)", "completed", "shed-fraction",
+		"goodput(req/s)", "p95-TTFT(s)", "makespan(s)", "routed"}
+	if s.pools.Pooled() {
+		cols = append(cols, "per-pool")
+	}
 	return tableFromCells("Fleet study: replicas × router × Poisson arrival rate (HybriMoE)",
-		[]string{"replicas", "router", "rate(req/s)", "completed", "shed-fraction",
-			"goodput(req/s)", "p95-TTFT(s)", "makespan(s)", "routed"}, results)
+		cols, results)
 }

@@ -94,6 +94,7 @@ func driveChurn(p Params, ratio float64, n int, routerName string,
 	})
 	r.ttftQ = report.Latencies(ttftQ)
 	r.routed = c.Routed()
+	r.pools = c.Pools()
 	r.rerouted, r.lost = c.Rerouted(), c.Lost()
 
 	for id := range reroutedIDs {
@@ -194,6 +195,9 @@ func FleetChurnStudy(p Params, requests, replicas int, ratio float64) *report.Ta
 type fleetChurnStudy struct {
 	requests, replicas int
 	ratio              float64
+	// pools optionally disaggregates the churned fleet; the registry
+	// default is unpooled, which renders exactly the historical table.
+	pools cluster.PoolSpec
 }
 
 func (fleetChurnStudy) ID() string { return "fleet-churn" }
@@ -228,11 +232,16 @@ func (s fleetChurnStudy) Cells(p Params) []Cell {
 					if sc.stalls {
 						anchor = stallAt
 					}
+					opts := append(sc.opts(stallAt, scaleAt), poolOpts(s.pools)...)
 					r := driveChurn(p, s.ratio, s.replicas, routerName, reqs,
-						anchor, sc.opts(stallAt, scaleAt)...)
-					return []Row{{sc.name, routerName, r.completed, r.rerouted, r.lost,
+						anchor, opts...)
+					row := Row{sc.name, routerName, r.completed, r.rerouted, r.lost,
 						r.goodput(), r.dipDepth(), r.recovery(), r.ttftQ.P95,
-						r.coldRouted, r.coldHit, r.warmHit}}
+						r.coldRouted, r.coldHit, r.warmHit}
+					if s.pools.Pooled() {
+						row = append(row, r.perPool())
+					}
+					return []Row{row}
 				},
 			})
 		}
@@ -241,9 +250,12 @@ func (s fleetChurnStudy) Cells(p Params) []Cell {
 }
 
 func (s fleetChurnStudy) Render(_ Params, results [][]Row) Renderable {
+	cols := []string{"scenario", "router", "completed", "rerouted", "lost", "goodput(req/s)",
+		"dip-depth", "recovery(s)", "p95-TTFT(s)", "cold-routed", "cold-hit", "warm-hit"}
+	if s.pools.Pooled() {
+		cols = append(cols, "per-pool")
+	}
 	return tableFromCells(
 		fmt.Sprintf("Fleet churn study: scenario × router, %d replicas (stall at 0.3 span, standby scale-up at the stall)", s.replicas),
-		[]string{"scenario", "router", "completed", "rerouted", "lost", "goodput(req/s)",
-			"dip-depth", "recovery(s)", "p95-TTFT(s)", "cold-routed", "cold-hit", "warm-hit"},
-		results)
+		cols, results)
 }

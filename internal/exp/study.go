@@ -154,6 +154,7 @@ func Studies() []Study {
 		placementStudy{requests: 8},
 		fleetStudy{requests: 16, replicaCounts: []int{2, 4}, ratio: 0.25},
 		fleetChurnStudy{requests: 24, replicas: 3, ratio: 0.25},
+		disaggStudy{requests: 18, ratio: 0.25},
 		precisionStudy{},
 	}
 }

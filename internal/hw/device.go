@@ -169,6 +169,18 @@ type Platform struct {
 	CPU   CPUModel
 	GPUs  []GPUModel
 	Links []LinkModel
+	// Interconnect is the replica-to-replica link (NVLink/RDMA-class)
+	// that prices working-set migration at a prefill→decode handoff —
+	// the GPU↔GPU analogue of the per-GPU host Links. The zero value
+	// means the platform has none: disaggregated pools require it, and
+	// Validate checks it only when set (HasInterconnect).
+	Interconnect LinkModel
+}
+
+// HasInterconnect reports whether the platform models a
+// replica-to-replica link. The zero-value LinkModel means absent.
+func (p *Platform) HasInterconnect() bool {
+	return p.Interconnect != (LinkModel{})
 }
 
 // Topology describes the device graph shape: how many GPUs the platform
@@ -233,6 +245,11 @@ func (p *Platform) Validate() error {
 	}
 	for _, l := range p.Links {
 		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.HasInterconnect() {
+		if err := p.Interconnect.Validate(); err != nil {
 			return err
 		}
 	}

@@ -32,6 +32,17 @@ func pcie4x16() LinkModel {
 	}
 }
 
+// rdma100g is the replica-to-replica interconnect of the A6000-class
+// presets: a 100 Gb/s RDMA fabric derated to sustained GPUDirect
+// throughput, pricing KV-cache migration at prefill→decode handoffs.
+func rdma100g() LinkModel {
+	return LinkModel{
+		Name:        "rdma-100g",
+		BytesPerSec: 1.1e10,
+		Latency:     5e-6,
+	}
+}
+
 // A6000Platform models the paper's evaluation platform: an NVIDIA RTX
 // A6000 (PCIe 4.0 x16) paired with an Intel Xeon Gold 5220R restricted
 // to 10 cores, running INT4 (Marlin / llama.cpp) expert kernels.
@@ -52,8 +63,9 @@ func A6000Platform() *Platform {
 			// Figure 3(e): roughly one extra expert-GEMV worth of time.
 			WarmupPenalty: 180e-6,
 		},
-		GPUs:  []GPUModel{a6000GPU()},
-		Links: []LinkModel{pcie4x16()},
+		GPUs:         []GPUModel{a6000GPU()},
+		Links:        []LinkModel{pcie4x16()},
+		Interconnect: rdma100g(),
 	}
 }
 
@@ -108,6 +120,12 @@ func LaptopPlatform() *Platform {
 			BytesPerSec: 8e9,
 			Latency:     2e-5,
 		}},
+		// Edge boxes pair over commodity 10 GbE rather than RDMA.
+		Interconnect: LinkModel{
+			Name:        "10gbe",
+			BytesPerSec: 1.1e9,
+			Latency:     4e-5,
+		},
 	}
 }
 
@@ -135,5 +153,10 @@ func UnitPlatform() *Platform {
 			BytesPerSec: 1.0 / 3.0, // 1 byte := one expert, 3 units each
 			Latency:     0,
 		}},
+		Interconnect: LinkModel{
+			Name:        "unit-interconnect",
+			BytesPerSec: 1, // 1 unit per byte migrated
+			Latency:     0,
+		},
 	}
 }

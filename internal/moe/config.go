@@ -87,6 +87,23 @@ func (c *Config) SharedExpertBytes() int64 {
 	return 2*per + down
 }
 
+// kvGroupSharing is the grouped-query sharing factor KVBytes assumes:
+// 8 query heads share each KV head, the common production setting.
+const kvGroupSharing = 8
+
+// KVBytes reports the KV-cache footprint of one request at the given
+// context length: an FP16 K and V vector of Hidden width per layer per
+// token, divided by the grouped-query sharing factor. This is the byte
+// volume that migrates with a request at a prefill→decode handoff.
+func (c *Config) KVBytes(context int) int64 {
+	if context <= 0 {
+		return 0
+	}
+	const fp16 = 2
+	perToken := int64(c.Layers) * int64(c.Hidden) * 2 * fp16 / kvGroupSharing
+	return int64(context) * perToken
+}
+
 // ExpertFlops reports the FLOPs of one routed expert over a token batch.
 func (c *Config) ExpertFlops(tokens int) float64 {
 	return hw.ExpertFlops(c.Hidden, c.Intermediate, tokens)

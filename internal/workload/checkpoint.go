@@ -1,0 +1,64 @@
+package workload
+
+import "fmt"
+
+// ExpertRef names one routed expert by grid position, the serializable
+// mirror of moe.ExpertID (workload cannot import moe — the dependency
+// runs the other way).
+type ExpertRef struct {
+	Layer int `json:"layer"`
+	Index int `json:"index"`
+}
+
+// Checkpoint is the working state of a request whose prefill has
+// completed on one replica: everything a decode replica needs to adopt
+// the request mid-life. It is a plain serializable value — carried on
+// Request, round-tripped through the JSONL trace schema — so a
+// prefilled request can cross a process or replica boundary.
+//
+// The transferable payload is the KV cache (KVBytes); Experts is the
+// predicted-and-resident expert working set at export time, which the
+// receiving replica uses for affinity scoring and warm cache admission
+// (expert weights are replicated on every replica, so only the hint
+// travels, not the tensors).
+type Checkpoint struct {
+	// PromptConsumed is how many prompt tokens the prefill processed.
+	PromptConsumed int `json:"prompt_consumed"`
+	// Context is the attention context length the decode starts from.
+	Context int `json:"context"`
+	// KVBytes is the KV-cache footprint migrating with the request.
+	KVBytes int64 `json:"kv_bytes"`
+	// Experts is the predicted expert working set resident on the
+	// exporting replica when prefill finished.
+	Experts []ExpertRef `json:"experts,omitempty"`
+	// TTFT is the queue-inclusive time-to-first-token already accrued on
+	// the prefill replica; the adopting session must not re-stamp it.
+	TTFT float64 `json:"ttft,omitempty"`
+	// ReadyAt is the absolute simulation-clock instant the migrated
+	// state finishes arriving at the decode replica (export time plus
+	// the interconnect transfer). The adopting session holds the request
+	// until its clock reaches it.
+	ReadyAt float64 `json:"ready_at,omitempty"`
+}
+
+// MigrationBytes is the byte volume the replica-to-replica interconnect
+// prices for this checkpoint: the KV cache. The expert set is metadata
+// (the weights already live on every replica).
+func (c *Checkpoint) MigrationBytes() int64 { return c.KVBytes }
+
+// Validate rejects checkpoints no prefill could have produced.
+func (c *Checkpoint) Validate() error {
+	if c.PromptConsumed < 0 || c.Context < 0 || c.KVBytes < 0 {
+		return fmt.Errorf("workload: checkpoint with negative state (prompt_consumed %d, context %d, kv_bytes %d)",
+			c.PromptConsumed, c.Context, c.KVBytes)
+	}
+	if c.TTFT < 0 || c.ReadyAt < 0 {
+		return fmt.Errorf("workload: checkpoint with negative stamps (ttft %v, ready_at %v)", c.TTFT, c.ReadyAt)
+	}
+	for _, e := range c.Experts {
+		if e.Layer < 0 || e.Index < 0 {
+			return fmt.Errorf("workload: checkpoint expert ref out of range (layer %d, index %d)", e.Layer, e.Index)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		PromptConsumed: 120,
+		Context:        120,
+		KVBytes:        3276800,
+		Experts:        []ExpertRef{{Layer: 0, Index: 7}, {Layer: 3, Index: 41}},
+		TTFT:           0.21,
+		ReadyAt:        0.36,
+	}
+}
+
+func TestCheckpointValidate(t *testing.T) {
+	if err := sampleCheckpoint().Validate(); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	mutate := map[string]func(*Checkpoint){
+		"negative prompt consumed": func(c *Checkpoint) { c.PromptConsumed = -1 },
+		"negative context":         func(c *Checkpoint) { c.Context = -1 },
+		"negative kv bytes":        func(c *Checkpoint) { c.KVBytes = -1 },
+		"negative ttft":            func(c *Checkpoint) { c.TTFT = -0.1 },
+		"negative ready":           func(c *Checkpoint) { c.ReadyAt = -0.1 },
+		"negative expert layer":    func(c *Checkpoint) { c.Experts[0].Layer = -1 },
+		"negative expert index":    func(c *Checkpoint) { c.Experts[1].Index = -2 },
+	}
+	for name, mut := range mutate {
+		c := sampleCheckpoint()
+		mut(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the checkpoint", name)
+		}
+	}
+}
+
+func TestCheckpointMigrationBytes(t *testing.T) {
+	// Expert weights are replicated on every replica; only the KV cache
+	// crosses the interconnect.
+	if got := sampleCheckpoint().MigrationBytes(); got != 3276800 {
+		t.Fatalf("MigrationBytes() = %d, want the KV bytes alone", got)
+	}
+}
+
+// TestCheckpointTraceRoundTrip pins that a prefilled request is a
+// serializable value: checkpoints survive the JSONL trace format
+// byte-stably, and checkpoint-less requests keep the historical schema
+// (no checkpoint key at all).
+func TestCheckpointTraceRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, PromptTokens: 120, DecodeTokens: 8, Arrival: 0.05, Checkpoint: sampleCheckpoint()},
+		{ID: 1, PromptTokens: 16, DecodeTokens: 2, Arrival: 0.07},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace has %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"checkpoint"`) {
+		t.Fatalf("checkpointed request serialised without a checkpoint key: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "checkpoint") {
+		t.Fatalf("fresh request grew a checkpoint key: %s", lines[1])
+	}
+
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatalf("checkpoint round trip diverged:\n in: %+v\nout: %+v", reqs, got)
+	}
+	var again bytes.Buffer
+	if err := WriteTrace(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("checkpointed trace not byte-stable:\n%s\nvs\n%s", buf.String(), again.String())
+	}
+}
+
+func TestReadTraceRejectsBadCheckpoint(t *testing.T) {
+	in := `{"id":0,"prompt_tokens":8,"decode_tokens":2,"checkpoint":{"prompt_consumed":-1,"context":8,"kv_bytes":64}}` + "\n"
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("ReadTrace accepted a trace with an invalid checkpoint")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error %v should carry the line number", err)
+	}
+}

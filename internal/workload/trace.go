@@ -24,6 +24,9 @@ type traceRecord struct {
 	Class        string  `json:"class,omitempty"`
 	Deadline     float64 `json:"deadline,omitempty"`
 	Arrival      float64 `json:"arrival,omitempty"`
+	// Checkpoint serialises a prefilled request's migrated state; absent
+	// for fresh requests, so pre-existing traces are unchanged on disk.
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // WriteTrace records a request sequence as JSONL, one request per line
@@ -43,6 +46,7 @@ func WriteTrace(w io.Writer, reqs []Request) error {
 			Class:        r.Class,
 			Deadline:     r.Deadline,
 			Arrival:      r.Arrival,
+			Checkpoint:   r.Checkpoint,
 		}
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("workload: writing trace record %d: %w", i, err)
@@ -83,6 +87,11 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 			return nil, fmt.Errorf("workload: trace line %d: negative deadline %v or arrival %v",
 				line, rec.Deadline, rec.Arrival)
 		}
+		if rec.Checkpoint != nil {
+			if err := rec.Checkpoint.Validate(); err != nil {
+				return nil, fmt.Errorf("trace line %d: %w", line, err)
+			}
+		}
 		reqs = append(reqs, Request{
 			ID:           rec.ID,
 			Dataset:      rec.Dataset,
@@ -92,6 +101,7 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 			Class:        rec.Class,
 			Deadline:     rec.Deadline,
 			Arrival:      rec.Arrival,
+			Checkpoint:   rec.Checkpoint,
 		})
 	}
 	if err := sc.Err(); err != nil {

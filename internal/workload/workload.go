@@ -144,6 +144,10 @@ type Request struct {
 	// (queue wait included). 0 means the request is present from the
 	// start — the closed-queue behaviour open-loop arrivals replace.
 	Arrival float64
+	// Checkpoint, when non-nil, marks a request whose prefill already
+	// completed elsewhere: the decode-side state it migrates with. nil
+	// for fresh requests — the only state the engine's Submit path sees.
+	Checkpoint *Checkpoint
 }
 
 // Stream generates a deterministic request sequence mixing datasets.
