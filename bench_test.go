@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"hybrimoe/internal/cache"
 	"hybrimoe/internal/cluster"
@@ -527,6 +528,71 @@ func BenchmarkFleetChurn(b *testing.B) {
 	}
 	if clockEnd > 0 {
 		b.ReportMetric(float64(completed)/clockEnd, "sim-req/s")
+	}
+}
+
+// benchParallelFleetRequests is the horizon-batched benchmark workload:
+// a brief arrival burst followed by long decode tails, so once dispatch
+// drains the burst the fleet sits in one giant safe window — the shape
+// parallel stepping accelerates. Fixed lengths (no dataset draw) keep
+// the step count byte-stable across machines and commits.
+func benchParallelFleetRequests() []workload.Request {
+	reqs := make([]workload.Request, 12)
+	for i := range reqs {
+		reqs[i] = workload.Request{
+			ID: i, PromptTokens: 48, DecodeTokens: 120,
+			Arrival: float64(i) * 0.01,
+		}
+	}
+	return reqs
+}
+
+// BenchmarkFleetParallelStep times the same 4-replica drain at 1, 2 and
+// 4 cluster workers (cluster.WithWorkers — the horizon-batched parallel
+// execution mode, byte-identical event stream at any count), so the
+// serial and parallel ns/op land in BENCH_<sha>.json side by side. The
+// parallel sub-benchmarks also wall-clock a serial twin in untimed
+// setup and report the speedup as a gated custom metric, tracking the
+// scaling win per commit; the events metric pins determinism — it must
+// never move between worker counts or commits.
+func BenchmarkFleetParallelStep(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			reqs := benchParallelFleetRequests()
+			newFleet := func(workers int) *cluster.Cluster {
+				c, err := exp.NewFleet(4, "round-robin", benchFleetSeed, 0.25,
+					cluster.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Submit(reqs...)
+				return c
+			}
+			var events int
+			var serialWall, parWall time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := newFleet(w)
+				if w > 1 {
+					base := newFleet(1)
+					t0 := time.Now()
+					base.Run(nil)
+					serialWall += time.Since(t0)
+				}
+				b.StartTimer()
+				t0 := time.Now()
+				events = c.Run(nil)
+				parWall += time.Since(t0)
+			}
+			if events == 0 {
+				b.Fatal("drain emitted no events")
+			}
+			b.ReportMetric(float64(events), "events")
+			if w > 1 && parWall > 0 {
+				b.ReportMetric(float64(serialWall)/float64(parWall), "speedup-vs-serial")
+			}
+		})
 	}
 }
 

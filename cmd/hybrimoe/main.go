@@ -73,6 +73,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced iteration counts")
 	short := fs.Bool("short", false, "alias for -quick (CI smoke runs)")
 	workers := fs.Int("workers", 0, "sweep-runner parallelism for grid studies (0 = all CPUs)")
+	clusterWorkers := fs.Int("cluster-workers", 1, "replica-stepping parallelism inside each fleet (1 = serial; output is identical at any count)")
 
 	switch cmd {
 	case "list":
@@ -95,6 +96,7 @@ func run(args []string) error {
 		}
 		p := params(*seed, *steps, *quick || *short)
 		p.Workers = *workers
+		p.ClusterWorkers = *clusterWorkers
 		e.Run(p).Render(os.Stdout)
 		return nil
 
@@ -104,6 +106,7 @@ func run(args []string) error {
 		}
 		p := params(*seed, *steps, *quick || *short)
 		p.Workers = *workers
+		p.ClusterWorkers = *clusterWorkers
 		exp.RunAll(os.Stdout, p)
 		return nil
 
@@ -172,7 +175,7 @@ func run(args []string) error {
 			sloTTFT: *sloTTFT, sloTBT: *sloTBT, deadline: *deadline,
 			arrivals: *arrivals, rate: *rate, traceIn: *traceIn, traceOut: *traceOut,
 			replicas: *replicas, router: *router, fail: *fail, scalePlan: *scalePlan,
-			pools: *pools,
+			pools: *pools, clusterWorkers: *clusterWorkers,
 		}
 		return serve(sc)
 
@@ -203,6 +206,7 @@ type serveConfig struct {
 	router               string
 	fail, scalePlan      string
 	pools                string
+	clusterWorkers       int
 }
 
 // serveRequests assembles the request sequence for one serve run:
@@ -262,6 +266,9 @@ func serve(sc serveConfig) error {
 	}
 	if sc.replicas < 1 {
 		return fmt.Errorf("-replicas %d must be at least 1", sc.replicas)
+	}
+	if sc.clusterWorkers < 1 {
+		return fmt.Errorf("-cluster-workers %d must be at least 1", sc.clusterWorkers)
 	}
 	reqs, err := serveRequests(sc)
 	if err != nil {
@@ -437,6 +444,9 @@ func serveFleet(sc serveConfig, reqs []workload.Request) error {
 	}
 	if poolSpec.Pooled() {
 		opts = append(opts, cluster.WithPools(poolSpec))
+	}
+	if sc.clusterWorkers > 1 {
+		opts = append(opts, cluster.WithWorkers(sc.clusterWorkers))
 	}
 	admitting := sc.sloTTFT > 0 || sc.sloTBT > 0
 	if admitting {

@@ -110,6 +110,7 @@ type config struct {
 	scale         []ScaleEvent
 	routeLog      int
 	pools         PoolSpec
+	workers       int
 }
 
 // Option configures a Cluster. Options validate eagerly — a bad value
@@ -291,6 +292,27 @@ func WithRouteLog(n int) Option {
 	}
 }
 
+// WithWorkers bounds the horizon-batched parallel execution mode: with
+// n > 1, Step advances independent replicas concurrently on up to n
+// goroutines between fleet synchronisation points (the next undispatched
+// arrival, in-transit handoff completion, or lifecycle stamp) and merges
+// the per-replica event runs back into the serial interleave, so the
+// emitted Event sequence is byte-identical to the default n = 1 serial
+// path at any worker count — the knob trades CPU for wall-clock, never
+// output. Disaggregated fleets (WithPools) always run serially: an
+// export-mode prefill step creates a handoff whose transfer-completion
+// stamp cannot be known before the step runs, so no safe horizon exists
+// ahead of it. n < 1 errors.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("cluster: WithWorkers(%d) must be at least 1", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
 // replica is one independent serving stack plus its lifecycle state.
 type replica struct {
 	eng   *engine.Engine
@@ -303,6 +325,15 @@ type replica struct {
 	// every step the replica runs, frozen when it stalls.
 	lease   float64
 	stalled bool
+	// hasExpert is the engine's IsResident probe bound once at
+	// construction — materialising the method value per views() call
+	// would allocate a closure per replica per dispatch.
+	hasExpert func(layer, index int) bool
+	// runEvs/runClocks are the replica's horizon-window scratch: the
+	// batched StepEvents and their pre-step clocks (the merge keys)
+	// from the latest parallel window. Reused across windows.
+	runEvs    []engine.StepEvent
+	runClocks []float64
 }
 
 // Cluster owns N replica stacks and a router, and advances the fleet in
@@ -330,8 +361,14 @@ type Cluster struct {
 	pending sim.Queue[*fleetRequest]
 	// queue holds fleet-level admission and lifecycle records awaiting
 	// emission ahead of replica compute — the session's admEvents idiom
-	// at fleet scope.
+	// at fleet scope. qhead is the pop cursor: Step drops the head by
+	// advancing it (zeroing the slot) instead of re-slicing, so the
+	// drained prefix never pins the backing array; once drained the
+	// buffer resets to length zero for reuse. Appends only ever happen
+	// on a drained queue (dispatch and lifecycle run only then), so the
+	// cursor never wraps.
 	queue []Event
+	qhead int
 	// ttfts and tbts aggregate latency observations across every
 	// replica's event stream; fleet admission snapshots quantile over
 	// them. Only maintained when a fleet admission policy is installed.
@@ -356,6 +393,20 @@ type Cluster struct {
 	handoffs        int
 	migratedExperts int
 	warmAdmitted    int
+	// workers caps the goroutines a horizon-batched parallel window
+	// fans steppable replicas out to; 1 is the streaming serial path.
+	workers int
+	// run is the merged event stream of the latest parallel window,
+	// drained ahead of queue and dispatch (its events precede anything
+	// the fleet does next by construction); runHead is its pop cursor.
+	// cands and cursors are per-window scratch.
+	run     []Event
+	runHead int
+	cands   []int
+	cursors []int
+	// viewBuf is the dispatch-time router snapshot, reused across
+	// dispatches — routers must not retain it across Pick calls.
+	viewBuf []ReplicaView
 }
 
 // New builds a cluster from functional options. WithBuilder is
@@ -368,6 +419,7 @@ func New(opts ...Option) (*Cluster, error) {
 		maxConcurrent: 1,
 		leaseTTL:      DefaultLeaseTTL,
 		warmup:        DefaultWarmup,
+		workers:       1,
 	}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
@@ -431,6 +483,7 @@ func New(opts ...Option) (*Cluster, error) {
 		routed:        make([]int, cfg.replicas),
 		routeCap:      cfg.routeLog,
 		pools:         cfg.pools,
+		workers:       cfg.workers,
 	}
 	if cfg.routeLog > 0 {
 		c.routeLog = make([]RouteRecord, 0, cfg.routeLog)
@@ -450,10 +503,11 @@ func New(opts ...Option) (*Cluster, error) {
 			sesOpts = append(sesOpts, engine.WithPrefillExport())
 		}
 		c.replicas = append(c.replicas, &replica{
-			eng:   eng,
-			ses:   eng.NewSession(sesOpts...),
-			state: StateServing,
-			role:  role,
+			eng:       eng,
+			ses:       eng.NewSession(sesOpts...),
+			state:     StateServing,
+			role:      role,
+			hasExpert: eng.IsResident,
 		})
 	}
 	// Failure schedule: the lifeFail stamps are configured; stall
@@ -625,9 +679,10 @@ func (c *Cluster) eligible(fr *fleetRequest, role PoolRole) bool {
 // router scores. Under a pool spec the snapshot holds only the pool the
 // head request belongs to. A silently stalled replica still appears —
 // nominally Serving, its growing LeaseAge the only tell — which is
-// exactly the trap lease-aware routers exist to dodge.
+// exactly the trap lease-aware routers exist to dodge. The returned
+// slice is a per-cluster scratch buffer reused across dispatches.
 func (c *Cluster) views(now float64, head *fleetRequest) []ReplicaView {
-	views := make([]ReplicaView, 0, len(c.replicas))
+	views := c.viewBuf[:0]
 	for i, r := range c.replicas {
 		if r.state != StateServing || !c.eligible(head, r.role) {
 			continue
@@ -645,9 +700,10 @@ func (c *Cluster) views(now float64, head *fleetRequest) []ReplicaView {
 			LeaseAge:  age,
 			Resident:  res,
 			Predicted: pred,
-			HasExpert: r.eng.IsResident,
+			HasExpert: r.hasExpert,
 		})
 	}
+	c.viewBuf = views
 	return views
 }
 
@@ -791,7 +847,9 @@ func (c *Cluster) dispatch() {
 			c.adoptHandoff(pick, head)
 			continue
 		}
-		if head.req.PromptTokens <= 0 {
+		if c.adm != nil && head.req.PromptTokens <= 0 {
+			// observe is the map's only reader, and it bails without a
+			// fleet admission policy — skip the write too.
 			c.promptless[head.req.ID] = true
 		}
 		c.replicas[pick].ses.Submit(head.req)
@@ -875,14 +933,34 @@ func (c *Cluster) observe(ev engine.StepEvent) {
 // no lifecycle action that could restore it.
 func (c *Cluster) Step() (ev Event, ok bool) {
 	for {
-		if len(c.queue) == 0 {
-			c.dispatch()
-		}
-		if len(c.queue) > 0 {
-			ev = c.queue[0]
-			c.queue = c.queue[1:]
+		// A merged parallel window drains first: its events precede any
+		// later dispatch or lifecycle record by construction (every one
+		// carries a pre-horizon stamp).
+		if c.runHead < len(c.run) {
+			ev = c.run[c.runHead]
+			c.run[c.runHead] = Event{}
+			c.runHead++
+			if c.runHead == len(c.run) {
+				c.run, c.runHead = c.run[:0], 0
+			}
 			c.steps++
 			return ev, true
+		}
+		if c.qhead == len(c.queue) {
+			c.dispatch()
+		}
+		if c.qhead < len(c.queue) {
+			ev = c.queue[c.qhead]
+			c.queue[c.qhead] = Event{}
+			c.qhead++
+			if c.qhead == len(c.queue) {
+				c.queue, c.qhead = c.queue[:0], 0
+			}
+			c.steps++
+			return ev, true
+		}
+		if c.workers > 1 && !c.pools.Pooled() && c.advanceWindow() {
+			continue
 		}
 		pick := -1
 		for i := range c.replicas {

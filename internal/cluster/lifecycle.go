@@ -195,10 +195,11 @@ func (c *Cluster) scaleUp(n int, at float64) {
 			panic(fmt.Sprintf("cluster: building scale-up replica %d: %v", i, err))
 		}
 		c.replicas = append(c.replicas, &replica{
-			eng:   eng,
-			ses:   eng.NewSession(engine.WithMaxConcurrent(c.maxConcurrent)),
-			state: StateWarming,
-			lease: at,
+			eng:       eng,
+			ses:       eng.NewSession(engine.WithMaxConcurrent(c.maxConcurrent)),
+			state:     StateWarming,
+			lease:     at,
+			hasExpert: eng.IsResident,
 		})
 		c.routed = append(c.routed, 0)
 		c.queue = append(c.queue, Event{Replica: i, Kind: EventReplicaWarming, StepEvent: engine.StepEvent{

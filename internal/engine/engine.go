@@ -47,6 +47,13 @@ type Engine struct {
 	gpuBusy  []float64
 	linkBusy []float64
 	clock    float64
+
+	// predScores/predF32/predIdx are PredictedResidency's per-layer
+	// scratch — fleet routers poll the residency signal once per
+	// eligible replica per dispatch, so the probe must not allocate.
+	predScores []float64
+	predF32    []float32
+	predIdx    []int
 	// curTokens is the current step's batch size (prefetch load
 	// prediction scales with it).
 	curTokens int
@@ -575,12 +582,16 @@ func (e *Engine) Clock() float64 { return e.clock }
 // so routers may poll it at every dispatch without perturbing runs.
 func (e *Engine) PredictedResidency() (resident, predicted int) {
 	for l := 0; l < e.cfg.Layers; l++ {
-		scores := e.gen.PredictedScores(l, 1)
-		f32 := make([]float32, len(scores))
-		for i, v := range scores {
+		e.predScores = e.gen.PredictedScoresInto(e.predScores, l, 1)
+		if cap(e.predF32) < len(e.predScores) {
+			e.predF32 = make([]float32, len(e.predScores))
+		}
+		f32 := e.predF32[:len(e.predScores)]
+		for i, v := range e.predScores {
 			f32[i] = float32(v)
 		}
-		for _, x := range tensor.TopK(f32, e.cfg.ActivatedExperts) {
+		e.predIdx = tensor.TopKInto(e.predIdx, f32, e.cfg.ActivatedExperts)
+		for _, x := range e.predIdx {
 			predicted++
 			// isCached covers layer-mapped frameworks too (their
 			// residency is the static layer split, not the cache).

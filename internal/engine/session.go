@@ -251,6 +251,52 @@ type Session struct {
 	view              []reqsched.Request
 	gpuPrev, linkPrev []float64
 	seen              []bool
+	// Batch-iteration scratch: runBatch's member/token projections and
+	// its event assembly buffer. The events themselves are copied out by
+	// value (one returned, the rest queued for emission), so the backing
+	// slices never escape a Step and are reused across iterations.
+	batchMembers []*sessionRequest
+	batchTokens  []int
+	batchEvents  []StepEvent
+	// untilEvents and untilClocks back StepUntil's batched return; valid
+	// until the next StepUntil call.
+	untilEvents []StepEvent
+	untilClocks []float64
+	// arena batches the per-event device-vector allocations; see devArena.
+	arena devArena
+}
+
+// devArena hands out device-sized []float64s carved from chunked backing
+// arrays, amortizing the per-event GPUBusyByDevice/LinkBusyByDevice
+// allocations the step hot path used to make one at a time. Carved
+// slices escape into StepEvents the caller may retain indefinitely, so a
+// chunk is never reclaimed or reused once carved from — the arena only
+// batches the allocations (one make per chunk instead of one per event),
+// it does not pool them. A retained slice pins at most one chunk.
+type devArena struct {
+	buf []float64
+}
+
+// devArenaChunk sizes the arena's backing chunks: large enough to
+// amortize, small enough that a single retained event pins little.
+const devArenaChunk = 512
+
+// take carves an n-element slice (capacity clamped to n, so appends by
+// consumers can never bleed into a neighbour's carve).
+func (a *devArena) take(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if len(a.buf) < n {
+		size := devArenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]float64, size)
+	}
+	out := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return out
 }
 
 // NewSession starts a streaming run loop on the engine, with the
@@ -704,6 +750,42 @@ func (s *Session) Step() (ev StepEvent, ok bool) {
 	return events[0], true
 }
 
+// StepUntil advances the session until its clock reaches t (or the
+// session drains), returning every StepEvent emitted along the way in
+// Step order. It is exactly a Step loop — the event sequence is
+// byte-identical to calling Step repeatedly — batched so per-step
+// bookkeeping (scratch views, emission drains) amortizes and the caller
+// makes one call per horizon instead of one per event. A step whose
+// pre-step clock is below t may legitimately finish past it (an idle-gap
+// jump or a long iteration), matching what a serial Step driver
+// observes; the final clock is therefore >= t unless the session
+// drained first. The returned slice is scratch reused by the next
+// StepUntil call — copy it to retain events across calls.
+func (s *Session) StepUntil(t float64) []StepEvent {
+	s.untilEvents, s.untilClocks = s.StepUntilClocked(t, s.untilEvents[:0], s.untilClocks[:0])
+	return s.untilEvents
+}
+
+// StepUntilClocked is StepUntil recording, aligned with each returned
+// event, the session clock observed immediately before the Step call
+// that produced it — the merge key a lockstep fleet driver interleaves
+// replica runs by (the clock it would have seen when picking this
+// session to step). Events and clocks are appended to evs and clocks,
+// which are returned; pass reusable backing to keep the loop
+// allocation-free. Pre-step clocks are non-decreasing within one call.
+func (s *Session) StepUntilClocked(t float64, evs []StepEvent, clocks []float64) ([]StepEvent, []float64) {
+	for s.e.clock < t {
+		pre := s.e.clock
+		ev, ok := s.Step()
+		if !ok {
+			break
+		}
+		evs = append(evs, ev)
+		clocks = append(clocks, pre)
+	}
+	return evs, clocks
+}
+
 // checkBatch validates a batch former's output the way scheduler picks
 // are validated: programming errors in a policy panic immediately
 // instead of corrupting the accounting.
@@ -794,8 +876,8 @@ func (s *Session) stepSolo(idx int) StepEvent {
 	ev.Hits = s.e.cache.Hits() - hits0
 	ev.Misses = s.e.cache.Misses() - misses0
 	ev.CPUBusy = maxF(0, s.e.cpuBusy-cpu0)
-	ev.GPUBusyByDevice, ev.GPUBusy = busyDeltas(s.e.gpuBusy, gpu0)
-	ev.LinkBusyByDevice, ev.LinkBusy = busyDeltas(s.e.linkBusy, link0)
+	ev.GPUBusyByDevice, ev.GPUBusy = s.busyDeltas(s.e.gpuBusy, gpu0)
+	ev.LinkBusyByDevice, ev.LinkBusy = s.busyDeltas(s.e.linkBusy, link0)
 	ev.Done = r.done()
 	s.steps++
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
@@ -871,29 +953,32 @@ func (s *Session) queueWait(r *sessionRequest, start float64) float64 {
 // member's event carries the full iteration latency as its TTFT/TBT
 // observation, the latency a batched server's request actually sees.
 func (s *Session) runBatch(batch []int, lead int) []StepEvent {
-	members := make([]*sessionRequest, len(batch))
-	tokens := make([]int, len(batch))
+	// Member/token projections live in session scratch: nothing below
+	// retains them past the iteration.
+	members := s.batchMembers[:0]
+	tokens := s.batchTokens[:0]
 	total := 0
 	allDecode := true
 	context := 0
-	for i, idx := range batch {
+	for _, idx := range batch {
 		r := s.active[idx]
-		members[i] = r
-		decoding := r.prefilled || r.req.PromptTokens <= 0
-		if decoding {
-			tokens[i] = 1
+		members = append(members, r)
+		tok := 1
+		if r.prefilled || r.req.PromptTokens <= 0 {
 			if c := s.contextFor(r); c > context {
 				context = c
 			}
 		} else {
-			tokens[i] = r.req.PromptTokens
+			tok = r.req.PromptTokens
 			allDecode = false
 			if r.req.PromptTokens > context {
 				context = r.req.PromptTokens
 			}
 		}
-		total += tokens[i]
+		tokens = append(tokens, tok)
+		total += tok
 	}
+	s.batchMembers, s.batchTokens = members, tokens
 
 	start := s.e.clock
 	hits0, misses0 := s.e.cache.Hits(), s.e.cache.Misses()
@@ -917,13 +1002,15 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 	hits := s.e.cache.Hits() - hits0
 	misses := s.e.cache.Misses() - misses0
 	cpu := maxF(0, s.e.cpuBusy-cpu0)
-	gpu, _ := busyDeltas(s.e.gpuBusy, gpu0)
-	link, _ := busyDeltas(s.e.linkBusy, link0)
+	gpu, _ := s.busyDeltas(s.e.gpuBusy, gpu0)
+	link, _ := s.busyDeltas(s.e.linkBusy, link0)
 	end := s.e.clock
 	s.e.stats.CacheHitRate = s.e.cache.HitRate()
 	s.notePrefetchHorizon()
 
-	events := make([]StepEvent, len(batch))
+	// The assembly buffer is scratch too — Step copies events out by
+	// value (one returned, the rest queued) before the next iteration.
+	events := s.batchEvents[:0]
 	cum := 0
 	for i, r := range members {
 		prev, next := cum, cum+tokens[i]
@@ -946,9 +1033,10 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 			BatchSize: len(batch),
 		}
 		// Per-device token-share splits, telescoped the same way; the
-		// scalars are their sums.
-		ev.GPUBusyByDevice = make([]float64, len(gpu))
-		ev.LinkBusyByDevice = make([]float64, len(link))
+		// scalars are their sums. Arena-carved: the slices escape with
+		// the event.
+		ev.GPUBusyByDevice = s.arena.take(len(gpu))
+		ev.LinkBusyByDevice = s.arena.take(len(link))
 		for d := range gpu {
 			ev.GPUBusyByDevice[d] = gpu[d]*float64(next)/float64(total) - gpu[d]*float64(prev)/float64(total)
 			ev.GPUBusy += ev.GPUBusyByDevice[d]
@@ -980,8 +1068,9 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 			}
 		}
 		ev.Done = r.done()
-		events[i] = ev
+		events = append(events, ev)
 	}
+	s.batchEvents = events
 
 	var removed []int
 	remaining := s.active[:0]
@@ -1003,8 +1092,10 @@ func (s *Session) runBatch(batch []int, lead int) []StepEvent {
 
 // busyDeltas reports each device's occupancy-frontier advance since the
 // prev snapshot, plus the summed advance the scalar event fields carry.
-func busyDeltas(cur, prev []float64) ([]float64, float64) {
-	out := make([]float64, len(cur))
+// The slice is carved from the session's arena — it escapes into the
+// emitted event, so it is never reused, only cheaply allocated.
+func (s *Session) busyDeltas(cur, prev []float64) ([]float64, float64) {
+	out := s.arena.take(len(cur))
 	var total float64
 	for d := range cur {
 		out[d] = maxF(0, cur[d]-prev[d])

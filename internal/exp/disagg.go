@@ -40,7 +40,7 @@ func (r disaggRun) warmFrac() float64 {
 // was cheap, which is exactly the interference disaggregation removes.
 func driveDisagg(p Params, ratio float64, n int, reqs []workload.Request,
 	spec cluster.PoolSpec) disaggRun {
-	c, err := NewFleet(n, "affinity", p.Seed, ratio, poolOpts(spec)...)
+	c, err := NewFleet(n, "affinity", p.Seed, ratio, append(workerOpts(p), poolOpts(spec)...)...)
 	if err != nil {
 		panic(err)
 	}

@@ -30,6 +30,13 @@ type Params struct {
 	// DefaultWorkers. Results are worker-count independent — the knob
 	// trades wall-clock for CPU, never output.
 	Workers int
+	// ClusterWorkers bounds the horizon-batched replica-level
+	// parallelism inside each fleet cell (cluster.WithWorkers); 0 or 1
+	// keeps the serial path. Like Workers, the event streams and every
+	// derived number are worker-count independent, so the two levels
+	// compose: cells fan out across Workers, replicas within a cell
+	// across ClusterWorkers.
+	ClusterWorkers int
 }
 
 // workers resolves the effective sweep parallelism.

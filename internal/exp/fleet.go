@@ -89,12 +89,21 @@ func NewFleet(n int, routerName string, seed uint64, ratio float64,
 	return cluster.New(opts...)
 }
 
+// workerOpts resolves Params.ClusterWorkers into cluster options — nil
+// at 0/1 so serial-path configurations stay untouched.
+func workerOpts(p Params) []cluster.Option {
+	if p.ClusterWorkers > 1 {
+		return []cluster.Option{cluster.WithWorkers(p.ClusterWorkers)}
+	}
+	return nil
+}
+
 // driveFleet serves reqs through a fresh n-replica fleet under the
 // named router, optional fleet-level admission policy, and any further
 // cluster options (pool specs, lifecycle knobs).
 func driveFleet(p Params, ratio float64, n int, routerName string,
 	reqs []workload.Request, adm engine.AdmissionPolicy, extra ...cluster.Option) fleetRun {
-	var opts []cluster.Option
+	opts := workerOpts(p)
 	if adm != nil {
 		opts = append(opts, cluster.WithAdmission(adm))
 	}

@@ -52,7 +52,7 @@ func (r churnRun) recovery() float64 {
 // joiners. stallAt anchors the dip window; pass 0 for churn-free rows.
 func driveChurn(p Params, ratio float64, n int, routerName string,
 	reqs []workload.Request, stallAt float64, opts ...cluster.Option) churnRun {
-	c, err := NewFleet(n, routerName, p.Seed, ratio, opts...)
+	c, err := NewFleet(n, routerName, p.Seed, ratio, append(workerOpts(p), opts...)...)
 	if err != nil {
 		panic(err)
 	}

@@ -16,6 +16,15 @@ type RNG struct {
 // NewRNG returns a generator seeded deterministically from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to the exact state NewRNG(seed) returns — same lanes,
+// no cached Box-Muller variate — so a long-lived generator can be
+// re-aimed at a derived stream without allocating a fresh one on a hot
+// path.
+func (r *RNG) Reseed(seed uint64) {
 	// splitmix64 expansion of the seed into four lanes.
 	x := seed
 	for i := range r.s {
@@ -25,7 +34,7 @@ func NewRNG(seed uint64) *RNG {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
+	r.gauss, r.hasGauss = 0, false
 }
 
 // Split derives an independent child generator; streams from parent and

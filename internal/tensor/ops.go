@@ -51,6 +51,35 @@ func TopK(xs []float32, k int) []int {
 	return idx[:k]
 }
 
+// TopKInto is TopK writing into dst's backing array (grown as needed):
+// the same indices in the same order — descending value, ties broken by
+// ascending index, exactly the stable argsort — via k successive
+// max-selections, so hot paths probing small k over large vectors pay
+// no per-call allocation. Each round admits only candidates ranking
+// strictly after the previous pick in the (value desc, index asc) total
+// order, which is both the dedup and the tie rule.
+func TopKInto(dst []int, xs []float32, k int) []int {
+	if k <= 0 || k > len(xs) {
+		panic(fmt.Sprintf("tensor: TopKInto k=%d with %d values", k, len(xs)))
+	}
+	dst = dst[:0]
+	prev, prevIdx := float32(0), -1
+	for j := 0; j < k; j++ {
+		best := -1
+		for i, v := range xs {
+			if j > 0 && (v > prev || (v == prev && i <= prevIdx)) {
+				continue
+			}
+			if best < 0 || v > xs[best] {
+				best = i
+			}
+		}
+		dst = append(dst, best)
+		prev, prevIdx = xs[best], best
+	}
+	return dst
+}
+
 // SoftmaxTopK implements the MoE gating combination from Eq. (1) of the
 // paper: select the top-k logits, then softmax over only those k values.
 // It returns the selected expert indices (descending logit order) and

@@ -2,6 +2,8 @@ package tensor
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -99,6 +101,50 @@ func TestTopKTieStability(t *testing.T) {
 	got := TopK(xs, 2)
 	if got[0] != 0 || got[1] != 1 {
 		t.Fatalf("ties should break toward lower index: %v", got)
+	}
+}
+
+// TestTopKIntoMatchesTopK property-checks the allocation-free selection
+// against the stable argsort over random vectors with deliberate ties,
+// at every k, and pins the zero-alloc contract once the scratch exists.
+func TestTopKIntoMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var dst []int
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(24)
+		xs := make([]float32, n)
+		for i := range xs {
+			// Quantised draws force frequent ties, the stability trap.
+			xs[i] = float32(rng.Intn(6)) / 8
+		}
+		for k := 1; k <= n; k++ {
+			want := TopK(xs, k)
+			dst = TopKInto(dst, xs, k)
+			if !reflect.DeepEqual(dst, want) {
+				t.Fatalf("xs=%v k=%d: TopKInto=%v, TopK=%v", xs, k, dst, want)
+			}
+		}
+	}
+	xs := []float32{0.1, 0.9, 0.5, 0.7, 0.5}
+	dst = TopKInto(dst, xs, 3)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = TopKInto(dst, xs, 3)
+	})
+	if allocs > 0 {
+		t.Fatalf("TopKInto allocated %.1f times per call with warm scratch", allocs)
+	}
+}
+
+func TestTopKIntoPanics(t *testing.T) {
+	for _, k := range []int{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TopKInto k=%d should panic", k)
+				}
+			}()
+			TopKInto(nil, []float32{1, 2, 3}, k)
+		}()
 	}
 }
 

@@ -93,6 +93,11 @@ type Generator struct {
 	// latent[l][e]: current latent logit.
 	latent [][]float64
 	iter   int
+	// predRNG is the reusable prediction stream: PredictedScoresInto
+	// reseeds it per (iter, layer, lookahead) instead of allocating a
+	// fresh generator on the routing hot path. Reseed restores the
+	// exact NewRNG state, so draws are byte-identical.
+	predRNG stats.RNG
 }
 
 // New builds a generator for cfg. It panics on an invalid configuration;
@@ -179,12 +184,20 @@ func (g *Generator) Activated(layer int) []int {
 // same iteration return the same value. lookahead 0 returns the true
 // scores.
 func (g *Generator) PredictedScores(layer, lookahead int) []float64 {
+	return g.PredictedScoresInto(nil, layer, lookahead)
+}
+
+// PredictedScoresInto is PredictedScores writing into dst's backing
+// array (grown as needed) — same values, same draw order, no per-call
+// allocation once dst has capacity. Fleet routers probe every replica's
+// predicted residency per dispatch, so this is a routing hot path.
+func (g *Generator) PredictedScoresInto(dst []float64, layer, lookahead int) []float64 {
 	g.checkLayer(layer)
 	if lookahead < 0 {
 		panic(fmt.Sprintf("trace: negative lookahead %d", lookahead))
 	}
 	if lookahead == 0 {
-		return g.Scores(layer)
+		return softmax64Into(dst, g.latent[layer])
 	}
 	// Derive a deterministic stream from (seed, iter, layer, lookahead)
 	// so predictions are stable within an iteration.
@@ -192,13 +205,14 @@ func (g *Generator) PredictedScores(layer, lookahead int) []float64 {
 	h = h*0x100000001b3 ^ uint64(g.iter+1)
 	h = h*0x100000001b3 ^ uint64(layer+1)
 	h = h*0x100000001b3 ^ uint64(lookahead)
-	prng := stats.NewRNG(h)
-	noisy := make([]float64, len(g.latent[layer]))
+	g.predRNG.Reseed(h)
+	noisy := append(dst[:0], g.latent[layer]...)
 	sigma := g.opts.PredNoise * float64(lookahead)
-	for e, v := range g.latent[layer] {
-		noisy[e] = v + prng.NormMeanStd(0, sigma)
+	for e := range noisy {
+		noisy[e] += g.predRNG.NormMeanStd(0, sigma)
 	}
-	return softmax64(noisy)
+	softmax64InPlace(noisy)
+	return noisy
 }
 
 // PrefillLoads simulates routing `tokens` tokens through a layer in one
@@ -230,23 +244,33 @@ func (g *Generator) checkLayer(layer int) {
 }
 
 func softmax64(xs []float64) []float64 {
+	return softmax64Into(nil, xs)
+}
+
+// softmax64Into writes the softmax of xs into dst's backing array
+// (grown as needed) and returns it.
+func softmax64Into(dst, xs []float64) []float64 {
+	dst = append(dst[:0], xs...)
+	softmax64InPlace(dst)
+	return dst
+}
+
+func softmax64InPlace(xs []float64) {
 	max := xs[0]
 	for _, v := range xs[1:] {
 		if v > max {
 			max = v
 		}
 	}
-	out := make([]float64, len(xs))
 	var sum float64
 	for i, v := range xs {
 		e := math.Exp(v - max)
-		out[i] = e
+		xs[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range xs {
+		xs[i] /= sum
 	}
-	return out
 }
 
 func topKIndices(scores []float64, k int) []int {
